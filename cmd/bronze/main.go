@@ -1,0 +1,111 @@
+// Command bronze regenerates the paper's evaluation: Table 1 (execution
+// times per optimization configuration), Table 2 (y-intercept and slope of
+// the time-versus-size regressions), Figure 10 (execution time curves),
+// and the speed-up / ratio analyses of Sec. 5.2–5.3, on the simulated
+// EGEE-style grid.
+//
+// Usage:
+//
+//	bronze [-table1] [-table2] [-fig10] [-ratios] [-sizes 12,66,126] [-seed 1]
+//
+// Without selection flags, everything is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bronze"
+)
+
+func main() {
+	var (
+		table1 = flag.Bool("table1", false, "print Table 1 (execution times)")
+		table2 = flag.Bool("table2", false, "print Table 2 (regressions)")
+		fig10  = flag.Bool("fig10", false, "print Figure 10 series (hours vs size)")
+		ratios = flag.Bool("ratios", false, "print the Sec. 5.2-5.3 speed-ups and ratios")
+		sizes  = flag.String("sizes", "12,66,126", "comma-separated input sizes (image pairs)")
+		seed   = flag.Uint64("seed", 1, "experiment seed")
+	)
+	flag.Parse()
+	all := !*table1 && !*table2 && !*fig10 && !*ratios
+
+	sz, err := parseSizes(*sizes)
+	if err != nil {
+		fatal(err)
+	}
+	p := bronze.DefaultParams()
+	p.Seed = *seed
+
+	fmt.Printf("Bronze Standard on the simulated grid: sizes %v, seed %d, median of %d runs per cell\n\n",
+		sz, *seed, bronze.Repeats)
+	rows, err := bronze.Table1(sz, p)
+	if err != nil {
+		fatal(err)
+	}
+	if all || *table1 {
+		fmt.Println("== Table 1: execution time per configuration ==")
+		fmt.Println(bronze.FormatTable1(rows))
+	}
+	if all || *table2 {
+		regs, err := bronze.Table2(rows)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("== Table 2: linear regressions ==")
+		fmt.Println(bronze.FormatTable2(regs))
+	}
+	if all || *fig10 {
+		fmt.Println("== Figure 10: execution time (hours) vs input size ==")
+		fmt.Println(bronze.FormatFigure10(rows))
+	}
+	if all || *ratios {
+		r, err := bronze.ComputeRatios(rows)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("== Sec. 5.2-5.3 analysis ==")
+		fmt.Printf("speed-up DP vs NOP:            %s   (paper: 1.86 / 2.89 / 3.92)\n", fmtF(r.DPvsNOP))
+		fmt.Printf("speed-up SP+DP vs DP:          %s   (paper: 2.26 / 2.17 / 1.90)\n", fmtF(r.SPDPvsDP))
+		fmt.Printf("speed-up JG vs NOP:            %s   (paper: 1.43 / 1.12 / 1.06)\n", fmtF(r.JGvsNOP))
+		fmt.Printf("speed-up SP+DP+JG vs SP+DP:    %s   (paper: 1.42 / 1.34 / 1.23)\n", fmtF(r.FullvsSPDP))
+		fmt.Printf("speed-up SP+DP+JG vs NOP:      %s   (paper headline: ~9 at 126 pairs)\n", fmtF(r.FullvsNOP))
+		fmt.Println()
+		fmt.Printf("DP vs NOP:       slope ratio %.2f (paper 6.18), y-intercept ratio %.2f (paper 1.27)\n",
+			r.DPvsNOPSlope, r.DPvsNOPIntercept)
+		fmt.Printf("SP+DP vs DP:     y-intercept ratio %.2f (paper 2.46), slope ratio %.2f (paper 1.62)\n",
+			r.SPDPvsDPIntercept, r.SPDPvsDPSlope)
+		fmt.Printf("JG vs NOP:       y-intercept ratio %.2f (paper 1.87), slope ratio %.2f (paper 0.98)\n",
+			r.JGvsNOPIntercept, r.JGvsNOPSlope)
+		fmt.Printf("SP+DP+JG vs SP+DP: y-intercept ratio %.2f (paper 1.54), slope ratio %.2f (paper 1.11)\n",
+			r.FullvsSPDPIntercept, r.FullvsSPDPSlope)
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fmtF(vals []float64) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprintf("%.2f", v)
+	}
+	return strings.Join(parts, " / ")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bronze:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,552 @@
+// Package core implements MOTEUR, the paper's optimized service-based
+// workflow enactor (Sec. 3–4): it executes a workflow over an input data
+// set, exploiting every applicable level of parallelism —
+//
+//   - workflow parallelism (always on): independent branches of the graph
+//     progress concurrently;
+//   - data parallelism (DP): a service processes several data items
+//     concurrently on distinct grid resources;
+//   - service parallelism (SP): different services process different data
+//     items concurrently (pipelining); with SP off, execution is
+//     batch-synchronized per stage, as in pre-streaming enactors;
+//   - job grouping (JG): sequential wrapper-backed processors are fused
+//     into single grid jobs (see AutoGroup).
+//
+// The enactor runs inside the discrete-event simulation: service calls are
+// asynchronous (Sec. 3.1) and completions arrive as events in virtual
+// time, so runs are deterministic per seed and a full-scale experiment
+// executes in milliseconds of wall time.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/iterstrat"
+	"repro/internal/provenance"
+	"repro/internal/services"
+	"repro/internal/sim"
+	"repro/internal/workflow"
+)
+
+// Options selects the optimization levels for one execution.
+type Options struct {
+	// DataParallelism allows a service to run many invocations at once.
+	DataParallelism bool
+	// ServiceParallelism streams items between services as they are
+	// produced. When false, a processor may not start until every direct
+	// predecessor has finished its complete input set.
+	ServiceParallelism bool
+	// JobGrouping fuses eligible sequential wrapper chains (AutoGroup)
+	// before execution.
+	JobGrouping bool
+	// MaxConcurrent caps concurrent invocations per service when
+	// DataParallelism is on (0 = unlimited).
+	MaxConcurrent int
+	// DataGroupSize batches up to this many ready invocations of one
+	// wrapper-backed service into a single grid job (0 or 1 disables).
+	// This is the paper's future-work optimization (Sec. 5.4): "grouping
+	// jobs of a single service, thus finding a trade-off between data
+	// parallelism and the system's overhead". Larger batches pay fewer
+	// per-job overheads but expose less data parallelism; the ablation
+	// benchmarks sweep the trade-off.
+	DataGroupSize int
+	// DataGroupWindow is how long an under-filled batch waits for more
+	// items before submitting anyway. Zero batches only simultaneously
+	// ready items, which under streaming (service parallelism) catches
+	// little beyond the first stage; a window of a fraction of the grid
+	// overhead lets downstream services accumulate batches too.
+	DataGroupWindow time.Duration
+}
+
+// String names the configuration the way the paper does (NOP, DP, SP, JG
+// and their combinations).
+func (o Options) String() string {
+	s := ""
+	if o.ServiceParallelism {
+		s += "SP+"
+	}
+	if o.DataParallelism {
+		s += "DP+"
+	}
+	if o.JobGrouping {
+		s += "JG+"
+	}
+	if s == "" {
+		return "NOP"
+	}
+	return s[:len(s)-1]
+}
+
+// ErrStalled reports an execution that stopped making progress before
+// completing: typically a cyclic workflow run without service parallelism,
+// or a conditional output starving a barrier.
+var ErrStalled = errors.New("core: workflow execution stalled")
+
+// Enactor executes one workflow on one engine. Create a fresh Enactor per
+// execution.
+type Enactor struct {
+	eng  *sim.Engine
+	wf   *workflow.Workflow
+	opts Options
+
+	tracker *provenance.Tracker
+	procs   map[string]*procState
+	order   []string
+	trace   *Trace
+
+	expected map[string]int // nil when not computable (cyclic)
+	active   int            // queued tuples + in-flight invocations
+	done     bool
+	failure  error
+	finish   sim.Time
+}
+
+type readyTuple struct {
+	tuple iterstrat.Tuple
+	ready sim.Time
+}
+
+type procState struct {
+	p        *workflow.Processor
+	strat    iterstrat.Strategy // private clone; nil for sources, sinks, sync
+	queue    []readyTuple
+	inFlight int
+	finished int
+	open     bool // admission allowed (barrier/constraint gate)
+
+	syncFired   bool
+	syncBuf     map[string][]*provenance.Item // sync procs: per-port arrivals
+	flush       *sim.Event                    // pending batch-window flush
+	flushForced bool                          // window expired: submit short batches
+
+	collected []*provenance.Item // sinks: arrivals
+}
+
+// New prepares an enactor. With JobGrouping set, the workflow is first
+// rewritten by AutoGroup; the original workflow is not modified.
+func New(eng *sim.Engine, wf *workflow.Workflow, opts Options) (*Enactor, error) {
+	if err := wf.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.JobGrouping {
+		grouped, err := AutoGroup(wf)
+		if err != nil {
+			return nil, err
+		}
+		wf = grouped
+	}
+	if !opts.ServiceParallelism && wf.HasCycle() {
+		return nil, fmt.Errorf("core: workflow %s has loops, which require service parallelism (streaming)", wf.Name)
+	}
+	e := &Enactor{
+		eng:     eng,
+		wf:      wf,
+		opts:    opts,
+		tracker: provenance.NewTracker(),
+		procs:   make(map[string]*procState),
+		trace:   &Trace{},
+	}
+	for _, p := range wf.Processors() {
+		st := &procState{p: p, open: true}
+		if p.Kind == workflow.KindService && !p.Synchronization {
+			st.strat = iterstrat.Clone(wf.EffectiveStrategy(p))
+		}
+		if p.Synchronization {
+			st.syncBuf = make(map[string][]*provenance.Item)
+		}
+		e.procs[p.Name] = st
+		e.order = append(e.order, p.Name)
+	}
+	return e, nil
+}
+
+// Workflow returns the workflow actually executed (after grouping).
+func (e *Enactor) Workflow() *workflow.Workflow { return e.wf }
+
+// cap returns the admission limit of a processor.
+func (e *Enactor) cap() int {
+	if !e.opts.DataParallelism {
+		return 1
+	}
+	if e.opts.MaxConcurrent > 0 {
+		return e.opts.MaxConcurrent
+	}
+	return int(^uint(0) >> 1)
+}
+
+// Run executes the workflow on the inputs (source name → item values) and
+// blocks, in wall time, until the virtual execution completes. It steps
+// the engine itself; the caller must not run the engine concurrently.
+func (e *Enactor) Run(inputs map[string][]string) (*Result, error) {
+	for _, src := range e.wf.Sources() {
+		if _, ok := inputs[src.Name]; !ok {
+			return nil, fmt.Errorf("core: no input data for source %s", src.Name)
+		}
+	}
+	if counts, err := e.wf.ExpectedCounts(countsOf(inputs)); err == nil {
+		e.expected = counts
+	} else if !e.opts.ServiceParallelism {
+		return nil, fmt.Errorf("core: barrier execution needs static invocation counts: %w", err)
+	}
+	e.applyGates()
+
+	// Data sources deliver their items sequentially at t=0 (Sec. 2.2).
+	for _, src := range e.wf.Sources() {
+		st := e.procs[src.Name]
+		for i, v := range inputs[src.Name] {
+			item := e.tracker.Source(src.Name, i, v)
+			e.deliver(src.Name, workflow.SourcePort, item)
+		}
+		st.finished = len(inputs[src.Name])
+	}
+	e.applyGates()
+	e.pump()
+	e.checkQuiescence()
+
+	for !e.done && e.failure == nil && e.eng.Step() {
+	}
+	if e.failure != nil {
+		return nil, e.failure
+	}
+	if !e.done {
+		return nil, fmt.Errorf("%w: %s", ErrStalled, e.diagnose())
+	}
+	return e.result(), nil
+}
+
+func countsOf(inputs map[string][]string) map[string]int {
+	out := make(map[string]int, len(inputs))
+	for k, v := range inputs {
+		out[k] = len(v)
+	}
+	return out
+}
+
+// deliver routes one item emitted on proc:port to every consumer.
+func (e *Enactor) deliver(proc, port string, item *provenance.Item) {
+	for _, l := range e.wf.Outgoing(proc) {
+		if l.FromPort != port {
+			continue
+		}
+		dst := e.procs[l.ToProc]
+		switch {
+		case dst.p.Kind == workflow.KindSink:
+			dst.collected = append(dst.collected, item)
+		case dst.p.Synchronization:
+			dst.syncBuf[l.ToPort] = append(dst.syncBuf[l.ToPort], item)
+		default:
+			for _, tup := range dst.strat.Offer(l.ToPort, item) {
+				dst.queue = append(dst.queue, readyTuple{tup, e.eng.Now()})
+				e.active++
+			}
+		}
+	}
+}
+
+// applyGates recomputes admission gates. With service parallelism the gate
+// is only closed by coordination constraints; without it, a processor also
+// waits for all its direct data predecessors to drain (batch semantics).
+func (e *Enactor) applyGates() {
+	for _, name := range e.order {
+		st := e.procs[name]
+		if st.p.Kind != workflow.KindService {
+			continue
+		}
+		open := true
+		for _, c := range e.wf.Constraints {
+			if c.After == name && !e.drained(c.Before) {
+				open = false
+			}
+		}
+		if !e.opts.ServiceParallelism {
+			for _, pred := range e.wf.Predecessors(name) {
+				if !e.drained(pred) {
+					open = false
+				}
+			}
+		}
+		st.open = open
+	}
+}
+
+// drained reports whether a processor has completed its whole input set.
+// It needs static counts; sources are drained once delivered.
+func (e *Enactor) drained(name string) bool {
+	st := e.procs[name]
+	if st.p.Kind == workflow.KindSource {
+		return st.finished > 0 || e.expectedOf(name) == 0
+	}
+	if st.inFlight > 0 || len(st.queue) > 0 {
+		return false
+	}
+	return st.finished >= e.expectedOf(name)
+}
+
+func (e *Enactor) expectedOf(name string) int {
+	if e.expected == nil {
+		return int(^uint(0) >> 1) // unknown: never drained statically
+	}
+	return e.expected[name]
+}
+
+// pump admits queued tuples wherever gates and caps allow.
+func (e *Enactor) pump() {
+	for _, name := range e.order {
+		st := e.procs[name]
+		for st.open && len(st.queue) > 0 && st.inFlight < e.cap() {
+			if batch := e.batchSize(st); batch > 1 {
+				if len(st.queue) < batch && e.opts.DataGroupWindow > 0 && !st.flushForced {
+					// Under-filled batch: hold the queue briefly so more
+					// items can join, then submit whatever accumulated.
+					if st.flush == nil {
+						st.flush = e.eng.Schedule(e.opts.DataGroupWindow, func() {
+							st.flush = nil
+							st.flushForced = true
+							e.pump()
+							st.flushForced = false
+							e.checkQuiescence()
+						})
+					}
+					break
+				}
+				n := batch
+				if n > len(st.queue) {
+					n = len(st.queue)
+				}
+				rts := append([]readyTuple(nil), st.queue[:n]...)
+				st.queue = st.queue[n:]
+				if st.flush != nil {
+					st.flush.Cancel()
+					st.flush = nil
+				}
+				e.invokeBatch(st, rts)
+				continue
+			}
+			rt := st.queue[0]
+			st.queue = st.queue[1:]
+			e.invoke(st, rt)
+		}
+	}
+}
+
+// batchSize returns how many ready tuples of this processor may share one
+// grid job: data grouping applies to wrapper-backed processors under data
+// parallelism (batching a serialized service would only reorder work).
+func (e *Enactor) batchSize(st *procState) int {
+	if e.opts.DataGroupSize <= 1 || !e.opts.DataParallelism {
+		return 1
+	}
+	if _, ok := st.p.Service.(*services.Wrapper); !ok {
+		return 1
+	}
+	return e.opts.DataGroupSize
+}
+
+// invokeBatch starts one grid job covering several invocations.
+func (e *Enactor) invokeBatch(st *procState, rts []readyTuple) {
+	st.inFlight += len(rts)
+	reqs := make([]services.Request, len(rts))
+	invs := make([]*Invocation, len(rts))
+	inputSets := make([][]*provenance.Item, len(rts))
+	for i, rt := range rts {
+		inv := &Invocation{
+			Processor: st.p.Name,
+			Index:     rt.tuple.Index,
+			Ready:     rt.ready,
+			Started:   e.eng.Now(),
+		}
+		e.trace.Invocations = append(e.trace.Invocations, inv)
+		invs[i] = inv
+		reqs[i], inputSets[i] = e.buildRequest(st, rt)
+	}
+	st.p.Service.(*services.Wrapper).InvokeBatch(reqs, func(resps []services.Response) {
+		for i, resp := range resps {
+			e.complete(st, invs[i], inputSets[i], resp)
+		}
+	})
+}
+
+// invoke starts one service invocation for a completed tuple.
+func (e *Enactor) invoke(st *procState, rt readyTuple) {
+	st.inFlight++
+	inv := &Invocation{
+		Processor: st.p.Name,
+		Index:     rt.tuple.Index,
+		Ready:     rt.ready,
+		Started:   e.eng.Now(),
+	}
+	e.trace.Invocations = append(e.trace.Invocations, inv)
+	req, inputItems := e.buildRequest(st, rt)
+	st.p.Service.Invoke(req, func(resp services.Response) {
+		e.complete(st, inv, inputItems, resp)
+	})
+}
+
+// buildRequest assembles the service request for one tuple: port values in
+// deterministic order plus the processor's constant bindings.
+func (e *Enactor) buildRequest(st *procState, rt readyTuple) (services.Request, []*provenance.Item) {
+	req := services.Request{Index: rt.tuple.Index, Inputs: make(map[string]string)}
+	ports := make([]string, 0, len(rt.tuple.Items))
+	for port := range rt.tuple.Items {
+		ports = append(ports, port)
+	}
+	sort.Strings(ports)
+	inputItems := make([]*provenance.Item, 0, len(ports))
+	for _, port := range ports {
+		item := rt.tuple.Items[port]
+		req.Inputs[port] = item.Value
+		inputItems = append(inputItems, item)
+	}
+	for k, v := range st.p.Constants {
+		req.Inputs[k] = v
+	}
+	return req, inputItems
+}
+
+// complete finishes one invocation: trace, output delivery, gate updates,
+// and quiescence detection.
+func (e *Enactor) complete(st *procState, inv *Invocation, inputs []*provenance.Item, resp services.Response) {
+	st.inFlight--
+	st.finished++
+	e.active--
+	inv.Finished = e.eng.Now()
+	inv.Jobs = resp.Jobs
+	inv.Err = resp.Err
+	if resp.Err != nil && e.failure == nil {
+		e.failure = fmt.Errorf("core: processor %s: %w", st.p.Name, resp.Err)
+		return
+	}
+	for _, port := range st.p.OutPorts {
+		v, emitted := resp.Outputs[port]
+		if !emitted {
+			continue // conditional output (Fig. 2 loops)
+		}
+		item := e.tracker.Derive(st.p.Name, port, v, inv.Index, inputs...)
+		e.deliver(st.p.Name, port, item)
+	}
+	e.applyGates()
+	e.pump()
+	e.checkQuiescence()
+}
+
+// checkQuiescence fires synchronization processors once all their
+// ancestors are inactive (Sec. 4.2: "it must be enacted once every of its
+// ancestors is inactive"), and declares the run complete when nothing is
+// left to do.
+func (e *Enactor) checkQuiescence() {
+	if e.done || e.failure != nil || e.active > 0 {
+		return
+	}
+	fired := false
+	for _, name := range e.order {
+		st := e.procs[name]
+		if !st.p.Synchronization || st.syncFired {
+			continue
+		}
+		// A sync processor whose ancestors include a sync processor that
+		// has not fired *and completed* waits for the inner barrier first.
+		blocked := false
+		for anc := range e.wf.Ancestors(name) {
+			if a := e.procs[anc]; a.p.Synchronization && (!a.syncFired || a.inFlight > 0) {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			continue
+		}
+		e.fireSync(st)
+		fired = true
+	}
+	if fired {
+		e.pump()
+		return
+	}
+	e.done = true
+	e.finish = e.eng.Now()
+}
+
+// fireSync invokes a synchronization processor once, with the complete
+// per-port item lists.
+func (e *Enactor) fireSync(st *procState) {
+	st.syncFired = true
+	st.inFlight++
+	e.active++
+	inv := &Invocation{
+		Processor: st.p.Name,
+		Index:     []int{0},
+		Sync:      true,
+		Ready:     e.eng.Now(),
+		Started:   e.eng.Now(),
+	}
+	e.trace.Invocations = append(e.trace.Invocations, inv)
+
+	req := services.Request{
+		Index:  []int{0},
+		Inputs: make(map[string]string),
+		Lists:  make(map[string][]string),
+	}
+	var inputs []*provenance.Item
+	for _, port := range st.p.InPorts {
+		items := st.syncBuf[port]
+		vals := make([]string, len(items))
+		for i, it := range items {
+			vals[i] = it.Value
+		}
+		req.Lists[port] = vals
+		if len(items) > 0 {
+			req.Inputs[port] = items[0].Value // convenience binding
+		}
+		inputs = append(inputs, items...)
+	}
+	for k, v := range st.p.Constants {
+		req.Inputs[k] = v
+	}
+	st.p.Service.Invoke(req, func(resp services.Response) {
+		e.complete(st, inv, inputs, resp)
+	})
+}
+
+// diagnose describes why execution stalled.
+func (e *Enactor) diagnose() string {
+	for _, name := range e.order {
+		st := e.procs[name]
+		if len(st.queue) > 0 || st.inFlight > 0 {
+			return fmt.Sprintf("processor %s has %d queued tuples and %d in-flight invocations (gate open: %v)",
+				name, len(st.queue), st.inFlight, st.open)
+		}
+	}
+	return "no pending work but completion was not detected"
+}
+
+// result assembles the Result after completion.
+func (e *Enactor) result() *Result {
+	r := &Result{
+		Makespan: time.Duration(e.finish),
+		Options:  e.opts,
+		Outputs:  make(map[string][]string),
+		Items:    make(map[string][]*provenance.Item),
+		Trace:    e.trace,
+	}
+	for _, sink := range e.wf.Sinks() {
+		st := e.procs[sink.Name]
+		items := append([]*provenance.Item(nil), st.collected...)
+		sort.Slice(items, func(i, j int) bool {
+			ki, kj := items[i].Key(), items[j].Key()
+			if ki != kj {
+				return ki < kj
+			}
+			return items[i].Value < items[j].Value
+		})
+		vals := make([]string, len(items))
+		for i, it := range items {
+			vals[i] = it.Value
+		}
+		r.Outputs[sink.Name] = vals
+		r.Items[sink.Name] = items
+	}
+	return r
+}

@@ -1,0 +1,311 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/iterstrat"
+	"repro/internal/services"
+	"repro/internal/workflow"
+)
+
+// AutoGroup rewrites a workflow by fusing eligible sequential processor
+// chains into grouped processors backed by a single grid job each — the
+// job-grouping optimization of Sec. 3.6. The input workflow is left
+// untouched.
+//
+// An edge P→Q is fused when:
+//
+//   - both processors are backed by the generic wrapper (their executable
+//     descriptors are available to the enactor) and submit to the same grid;
+//   - neither is a synchronization processor;
+//   - every data link leaving P enters Q (P's outputs are not needed by any
+//     other processor or sink), so P's outputs can stay on the worker node;
+//   - the P-fed input ports of Q sit directly under a top-level dot product
+//     in Q's iteration strategy (or are Q's only input), so one invocation
+//     of P corresponds to exactly one invocation of Q.
+//
+// Fusion repeats until fixpoint, so chains of any length collapse — the
+// paper groups crestLines+crestMatch and PFMatchICP+PFRegister.
+//
+// Wrapper-backed processors must name their input ports after the
+// descriptor's input names (the usual construction); grouped processors
+// expose member-qualified ports ("<executable>.<input>").
+func AutoGroup(wf *workflow.Workflow) (*workflow.Workflow, error) {
+	cur := wf
+	for {
+		edge, ok := findGroupableEdge(cur)
+		if !ok {
+			return cur, nil
+		}
+		next, err := fuse(cur, edge.from, edge.to)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+}
+
+type edge struct{ from, to string }
+
+// membersOf exposes the group members behind a service: a Wrapper is a
+// single member; a Grouped contributes its member list (flattening chains).
+func membersOf(svc services.Service) ([]services.GroupMember, bool) {
+	switch s := svc.(type) {
+	case *services.Wrapper:
+		return []services.GroupMember{{W: s}}, true
+	case *services.Grouped:
+		return s.Members(), true
+	default:
+		return nil, false
+	}
+}
+
+func findGroupableEdge(wf *workflow.Workflow) (edge, bool) {
+	for _, p := range wf.Processors() {
+		if p.Kind != workflow.KindService || p.Synchronization {
+			continue
+		}
+		if _, ok := membersOf(p.Service); !ok {
+			continue
+		}
+		out := wf.Outgoing(p.Name)
+		if len(out) == 0 {
+			continue
+		}
+		target := out[0].ToProc
+		sameTarget := true
+		for _, l := range out {
+			if l.ToProc != target {
+				sameTarget = false
+				break
+			}
+		}
+		if !sameTarget || target == p.Name {
+			continue
+		}
+		q, _ := wf.Proc(target)
+		if q.Kind != workflow.KindService || q.Synchronization {
+			continue
+		}
+		if _, ok := membersOf(q.Service); !ok {
+			continue
+		}
+		if !alignmentOK(wf, p, q) {
+			continue
+		}
+		return edge{p.Name, q.Name}, true
+	}
+	return edge{}, false
+}
+
+// alignmentOK checks the 1:1 invocation correspondence condition: ports of
+// Q fed by P are fed only by P, and they appear as direct leaves of Q's
+// top-level dot product (or constitute Q's single input).
+func alignmentOK(wf *workflow.Workflow, p, q *workflow.Processor) bool {
+	fed := fedPorts(wf, p, q)
+	if len(fed) == 0 {
+		return false
+	}
+	incoming := wf.Incoming(q.Name)
+	for port := range fed {
+		for _, l := range incoming[port] {
+			if l.FromProc != p.Name {
+				return false // port also fed by someone else (e.g. a loop)
+			}
+		}
+	}
+	strat := wf.EffectiveStrategy(q)
+	op, children, port := iterstrat.Decompose(strat)
+	if op == iterstrat.OpPort {
+		return fed[port] && len(fed) == 1
+	}
+	if op != iterstrat.OpDot {
+		return false
+	}
+	seen := 0
+	for _, c := range children {
+		cop, _, cport := iterstrat.Decompose(c)
+		if cop == iterstrat.OpPort && fed[cport] {
+			seen++
+		}
+	}
+	return seen == len(fed)
+}
+
+// fedPorts returns the input ports of q that receive data from p.
+func fedPorts(wf *workflow.Workflow, p, q *workflow.Processor) map[string]bool {
+	fed := make(map[string]bool)
+	for _, l := range wf.Outgoing(p.Name) {
+		if l.ToProc == q.Name {
+			fed[l.ToPort] = true
+		}
+	}
+	return fed
+}
+
+// memberFor resolves which member of a group owns the given exposed port
+// name, returning the member index and the member-local input name.
+func memberFor(members []services.GroupMember, grouped bool, port string) (int, string, error) {
+	if !grouped {
+		return 0, port, nil
+	}
+	for j, m := range members {
+		prefix := m.W.Name() + "."
+		if strings.HasPrefix(port, prefix) {
+			local := strings.TrimPrefix(port, prefix)
+			if _, ok := m.W.Descriptor().Input(local); ok {
+				return j, local, nil
+			}
+		}
+	}
+	return 0, "", fmt.Errorf("core: no group member owns port %q", port)
+}
+
+// fuse builds a new workflow with P and Q replaced by a grouped processor.
+func fuse(wf *workflow.Workflow, pName, qName string) (*workflow.Workflow, error) {
+	p, _ := wf.Proc(pName)
+	q, _ := wf.Proc(qName)
+	pMembers, _ := membersOf(p.Service)
+	qMembers, _ := membersOf(q.Service)
+	pGrouped, qGrouped := len(pMembers) > 1, len(qMembers) > 1
+	lastP := len(pMembers) - 1
+
+	// Assemble the member list: P's members followed by Q's, with Q-side
+	// internal references shifted and the P→Q links wired internally.
+	members := append([]services.GroupMember(nil), pMembers...)
+	for _, m := range qMembers {
+		shifted := make(map[string]services.InternalRef, len(m.Internal))
+		for in, ref := range m.Internal {
+			shifted[in] = services.InternalRef{Member: ref.Member + len(pMembers), Port: ref.Port}
+		}
+		members = append(members, services.GroupMember{W: m.W, Internal: shifted})
+	}
+	for _, l := range wf.Outgoing(pName) {
+		j, local, err := memberFor(qMembers, qGrouped, l.ToPort)
+		if err != nil {
+			return nil, fmt.Errorf("core: grouping %s+%s: %w", pName, qName, err)
+		}
+		mi := len(pMembers) + j
+		if members[mi].Internal == nil {
+			members[mi].Internal = make(map[string]services.InternalRef)
+		}
+		members[mi].Internal[local] = services.InternalRef{Member: lastP, Port: l.FromPort}
+	}
+
+	groupName := pName + "+" + qName
+	grouped, err := services.NewGrouped(groupName, members)
+	if err != nil {
+		return nil, fmt.Errorf("core: grouping %s+%s: %w", pName, qName, err)
+	}
+
+	// Port qualification: already-grouped sides keep their names.
+	pQual := func(port string) string {
+		if pGrouped {
+			return port
+		}
+		return pMembers[0].W.Name() + "." + port
+	}
+	qQual := func(port string) string {
+		if qGrouped {
+			return port
+		}
+		return qMembers[0].W.Name() + "." + port
+	}
+
+	// Merged iteration strategy: P's strategy replaces the block of P-fed
+	// leaves inside Q's top-level dot. Nested dots are flattened (dot is
+	// associative over index vectors), which keeps longer chains fusable.
+	fed := fedPorts(wf, p, q)
+	pStrat := iterstrat.Rename(wf.EffectiveStrategy(p), pQual)
+	var rest []iterstrat.Strategy
+	op, children, _ := iterstrat.Decompose(wf.EffectiveStrategy(q))
+	if op == iterstrat.OpDot {
+		for _, c := range children {
+			cop, _, cport := iterstrat.Decompose(c)
+			if cop == iterstrat.OpPort && fed[cport] {
+				continue
+			}
+			rest = append(rest, iterstrat.Rename(c, qQual))
+		}
+	}
+	var merged iterstrat.Strategy
+	if len(rest) == 0 {
+		merged = pStrat
+	} else {
+		tops := []iterstrat.Strategy{pStrat}
+		if pop, pkids, _ := iterstrat.Decompose(pStrat); pop == iterstrat.OpDot {
+			tops = pkids
+		}
+		merged = iterstrat.Dot(append(tops, rest...)...)
+	}
+
+	// Merged constants, qualified per owner.
+	constants := make(map[string]string)
+	for k, v := range p.Constants {
+		constants[pQual(k)] = v
+	}
+	for k, v := range q.Constants {
+		constants[qQual(k)] = v
+	}
+
+	// Input ports: the group's external inputs, except those satisfied by
+	// constants.
+	var inPorts []string
+	for _, port := range grouped.ExternalInputs() {
+		if _, isConst := constants[port]; !isConst {
+			inPorts = append(inPorts, port)
+		}
+	}
+
+	// Rebuild the workflow.
+	out := workflow.New(wf.Name)
+	for _, proc := range wf.Processors() {
+		switch proc.Name {
+		case pName:
+			out.Add(&workflow.Processor{
+				Name:      groupName,
+				Kind:      workflow.KindService,
+				Service:   grouped,
+				InPorts:   inPorts,
+				OutPorts:  append([]string(nil), q.OutPorts...),
+				Strategy:  merged,
+				Constants: constants,
+			})
+		case qName:
+			// replaced by the group, inserted at P's position
+		default:
+			out.Add(proc)
+		}
+	}
+	for _, l := range wf.Links {
+		switch {
+		case l.FromProc == pName && l.ToProc == qName:
+			// internal to the group
+		case l.ToProc == pName:
+			out.Connect(l.FromProc, l.FromPort, groupName, pQual(l.ToPort))
+		case l.ToProc == qName:
+			out.Connect(l.FromProc, l.FromPort, groupName, qQual(l.ToPort))
+		case l.FromProc == qName:
+			out.Connect(groupName, l.FromPort, l.ToProc, l.ToPort)
+		default:
+			out.Connect(l.FromProc, l.FromPort, l.ToProc, l.ToPort)
+		}
+	}
+	for _, c := range wf.Constraints {
+		before, after := c.Before, c.After
+		if before == pName || before == qName {
+			before = groupName
+		}
+		if after == pName || after == qName {
+			after = groupName
+		}
+		if before != after {
+			out.Constrain(before, after)
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("core: grouping %s+%s produced an invalid workflow: %w", pName, qName, err)
+	}
+	return out, nil
+}

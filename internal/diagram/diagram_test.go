@@ -1,0 +1,140 @@
+package diagram
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/services"
+	"repro/internal/sim"
+	"repro/internal/workflow"
+)
+
+// fig1Chain builds the paper's Fig. 1 workflow (P1 → P2 → P3) with
+// per-item durations T[i][j], runs it under opts, and returns the trace.
+func fig1Trace(t *testing.T, T [][]time.Duration, opts core.Options) *core.Trace {
+	t.Helper()
+	eng := sim.NewEngine()
+	w := workflow.New("fig1")
+	w.AddSource("src")
+	for i := 0; i < 3; i++ {
+		i := i
+		name := fmt.Sprintf("P%d", i+1)
+		dur := func(req services.Request) time.Duration { return T[i][req.Index[0]] }
+		echo := func(req services.Request) map[string]string {
+			return map[string]string{"out": req.Inputs["in"]}
+		}
+		w.AddService(name, services.NewLocal(eng, name, 1<<20, dur, echo),
+			[]string{"in"}, []string{"out"})
+	}
+	w.AddSink("sink")
+	w.Connect("src", workflow.SourcePort, "P1", "in")
+	w.Connect("P1", "out", "P2", "in")
+	w.Connect("P2", "out", "P3", "in")
+	w.Connect("P3", "out", "sink", workflow.SinkPort)
+	e, err := core.New(eng, w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(map[string][]string{"src": {"D0", "D1", "D2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Trace
+}
+
+func constT3() [][]time.Duration {
+	T := make([][]time.Duration, 3)
+	for i := range T {
+		T[i] = []time.Duration{10 * time.Second, 10 * time.Second, 10 * time.Second}
+	}
+	return T
+}
+
+// Figure 4: data parallelism only. All data sets share each stage's cell.
+func TestFigure4DataParallel(t *testing.T) {
+	tr := fig1Trace(t, constT3(), core.Options{DataParallelism: true})
+	out := Render(tr, []string{"P1", "P2", "P3"}, 10*time.Second)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("diagram lines = %d:\n%s", len(lines), out)
+	}
+	// Rows are P3, P2, P1 top to bottom as in the paper.
+	if !strings.HasPrefix(lines[0], "P3") || !strings.HasPrefix(lines[2], "P1") {
+		t.Fatalf("row order wrong:\n%s", out)
+	}
+	// P1 row: all three data sets in the first column, then idle.
+	if !strings.Contains(lines[2], "D0,D1,D2") {
+		t.Fatalf("P1 row missing concurrent data sets:\n%s", out)
+	}
+	// P3 row: idle, idle, then all three.
+	if !strings.Contains(lines[0], "X") || !strings.Contains(lines[0], "D0,D1,D2") {
+		t.Fatalf("P3 row wrong:\n%s", out)
+	}
+}
+
+// Figure 5: service parallelism only. The diagonal pipeline pattern.
+func TestFigure5ServiceParallel(t *testing.T) {
+	tr := fig1Trace(t, constT3(), core.Options{ServiceParallelism: true})
+	out := Render(tr, []string{"P1", "P2", "P3"}, 10*time.Second)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	p1 := strings.Fields(lines[2])
+	p3 := strings.Fields(lines[0])
+	// P1 | D0 | D1 | D2 | X | X ; P3 | X | X | D0 | D1 | D2
+	joined1 := strings.Join(p1, " ")
+	joined3 := strings.Join(p3, " ")
+	if !strings.Contains(joined1, "D0 | D1 | D2 | X | X") {
+		t.Fatalf("P1 row not pipelined:\n%s", out)
+	}
+	if !strings.Contains(joined3, "X | X | D0 | D1 | D2") {
+		t.Fatalf("P3 row not pipelined:\n%s", out)
+	}
+	// No cell holds two data sets (data parallelism disabled).
+	if strings.Contains(out, ",") {
+		t.Fatalf("SP-only diagram shows data parallelism:\n%s", out)
+	}
+}
+
+// Figure 6: variable execution times — with DP only, stage barriers leave
+// idle holes; adding SP overlaps them and shortens the diagram.
+func TestFigure6Comparison(t *testing.T) {
+	T := constT3()
+	T[0][0] = 20 * time.Second // D0 twice as long on P1
+	T[1][1] = 30 * time.Second // D1 three times as long on P2
+
+	dp := fig1Trace(t, T, core.Options{DataParallelism: true})
+	dsp := fig1Trace(t, T, core.Options{DataParallelism: true, ServiceParallelism: true})
+	outDP := Render(dp, []string{"P1", "P2", "P3"}, 10*time.Second)
+	outDSP := Render(dsp, []string{"P1", "P2", "P3"}, 10*time.Second)
+	colsDP := strings.Count(strings.Split(outDP, "\n")[0], "|")
+	colsDSP := strings.Count(strings.Split(outDSP, "\n")[0], "|")
+	if colsDSP >= colsDP {
+		t.Fatalf("service parallelism did not shorten the diagram:\nDP:\n%s\nDSP:\n%s", outDP, outDSP)
+	}
+}
+
+func TestRenderEmptyTrace(t *testing.T) {
+	out := Render(&core.Trace{}, []string{"P1"}, time.Second)
+	if !strings.Contains(out, "P1") || !strings.Contains(out, "X") {
+		t.Fatalf("empty render = %q", out)
+	}
+}
+
+func TestRenderUnknownProcessorIgnored(t *testing.T) {
+	tr := fig1Trace(t, constT3(), core.Options{DataParallelism: true})
+	out := Render(tr, []string{"P1"}, 10*time.Second)
+	if strings.Contains(out, "P2") {
+		t.Fatalf("unrequested processor rendered:\n%s", out)
+	}
+}
+
+func TestRenderPanicsOnBadQuantum(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero quantum did not panic")
+		}
+	}()
+	Render(&core.Trace{}, nil, 0)
+}

@@ -1,0 +1,48 @@
+package grid
+
+import "sort"
+
+// Catalog is the replica catalog: it maps Grid File Names (GFNs) to file
+// sizes. Locations are abstracted away — the transfer model only needs
+// sizes — but the registration discipline is the real one: a job may only
+// consume files that have been registered, and registers its outputs on
+// completion, which is how data dependencies propagate through the grid.
+type Catalog struct {
+	files map[string]float64
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{files: make(map[string]float64)}
+}
+
+// Register records a file and its size in MB. Re-registering overwrites,
+// matching LCG2 semantics where a GFN points at the latest replica set.
+func (c *Catalog) Register(name string, sizeMB float64) {
+	c.files[name] = sizeMB
+}
+
+// Lookup returns the size of a registered file.
+func (c *Catalog) Lookup(name string) (sizeMB float64, ok bool) {
+	sizeMB, ok = c.files[name]
+	return sizeMB, ok
+}
+
+// Has reports whether the file is registered.
+func (c *Catalog) Has(name string) bool {
+	_, ok := c.files[name]
+	return ok
+}
+
+// Len returns the number of registered files.
+func (c *Catalog) Len() int { return len(c.files) }
+
+// Names returns all registered names in lexical order.
+func (c *Catalog) Names() []string {
+	names := make([]string, 0, len(c.files))
+	for n := range c.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,176 @@
+package grid
+
+import (
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// cluster is one computing element: a FIFO batch queue in front of a pool
+// of heterogeneous worker nodes, a shared transfer link to its close
+// storage element, and an optional background (multi-user) load.
+type cluster struct {
+	g        *Grid
+	cfg      ClusterConfig
+	nodes    *sim.Resource
+	link     *sim.Resource
+	rnd      *rng.Source
+	bgJobs   uint64 // background jobs started
+	fgJobs   uint64 // foreground (workflow) attempts executed
+	fgFailed uint64
+}
+
+func newCluster(g *Grid, cfg ClusterConfig, rnd *rng.Source) *cluster {
+	if cfg.Nodes <= 0 {
+		panic("grid: cluster with no nodes: " + cfg.Name)
+	}
+	streams := cfg.TransferStreams
+	if streams <= 0 {
+		streams = 1
+	}
+	return &cluster{
+		g:     g,
+		cfg:   cfg,
+		nodes: sim.NewResource(g.Eng, cfg.Nodes),
+		link:  sim.NewResource(g.Eng, streams),
+		rnd:   rnd,
+	}
+}
+
+// rank estimates how long a new job would wait here: queue backlog scaled
+// by pool size, perturbed by the caller-provided noise factor.
+func (c *cluster) rank(noise float64) float64 {
+	backlog := float64(c.nodes.Waiting()+c.nodes.Busy()) / float64(c.cfg.Nodes)
+	return backlog * noise
+}
+
+// enqueue places a job attempt in the batch queue. finished(failed) is
+// called when the attempt ends.
+func (c *cluster) enqueue(rec *JobRecord, finished func(failed bool)) {
+	rec.Status = StatusQueued
+	c.nodes.Acquire(func() {
+		c.fgJobs++
+		rec.Status = StatusRunning
+		rec.Started = c.g.Eng.Now()
+		// LRMS dispatch overhead between node grant and process start.
+		dispatch := c.g.drawLogNormal(c.g.cfg.Overheads.DispatchMean, c.g.cfg.Overheads.DispatchSD)
+		c.g.Eng.Schedule(dispatch, func() {
+			c.stageIn(rec, finished)
+		})
+	})
+}
+
+// stageIn transfers the job's input files from the storage element, then
+// computes, then stages outputs back. The node is held throughout, as on
+// LCG2 where the job wrapper performs staging on the worker node.
+func (c *cluster) stageIn(rec *JobRecord, finished func(failed bool)) {
+	var totalMB float64
+	for _, name := range rec.Spec.Inputs {
+		size, ok := c.g.catalog.Lookup(name)
+		if !ok {
+			rec.Err = &FileError{Job: rec.Spec.Name, File: name, Err: ErrNoSuchFile}
+			c.release(rec, true, finished)
+			return
+		}
+		totalMB += size
+	}
+	c.transfer(totalMB, len(rec.Spec.Inputs), func() {
+		rec.InputDone = c.g.Eng.Now()
+		c.compute(rec, finished)
+	})
+}
+
+func (c *cluster) compute(rec *JobRecord, finished func(failed bool)) {
+	speed := c.rnd.Uniform(c.cfg.MinSpeed, c.cfg.MaxSpeed)
+	runtime := time.Duration(float64(rec.Spec.Runtime) / speed)
+
+	if c.rnd.Bernoulli(c.g.cfg.Failures.Probability) {
+		// The attempt dies partway through; the middleware notices only
+		// after a detection delay.
+		c.fgFailed++
+		elapsed := time.Duration(c.rnd.Float64() * float64(runtime))
+		c.g.Eng.Schedule(elapsed+c.g.cfg.Failures.DetectDelay, func() {
+			c.release(rec, true, finished)
+		})
+		return
+	}
+	c.g.Eng.Schedule(runtime, func() {
+		var outMB float64
+		for _, out := range rec.Spec.Outputs {
+			outMB += out.SizeMB
+		}
+		c.transfer(outMB, len(rec.Spec.Outputs), func() {
+			c.release(rec, false, finished)
+		})
+	})
+}
+
+// transfer models moving totalMB across the cluster's close-SE link in one
+// stream, paying the fixed per-file latency for each of nFiles files.
+func (c *cluster) transfer(totalMB float64, nFiles int, done func()) {
+	if totalMB <= 0 && nFiles == 0 {
+		done()
+		return
+	}
+	d := time.Duration(float64(nFiles)) * c.g.cfg.Overheads.TransferLatency
+	if c.cfg.TransferMBps > 0 {
+		d += time.Duration(totalMB / c.cfg.TransferMBps * float64(time.Second))
+	}
+	c.link.Use(d, done)
+}
+
+func (c *cluster) release(rec *JobRecord, failed bool, finished func(bool)) {
+	c.nodes.Release()
+	finished(failed)
+}
+
+// startBackground launches the multi-user load generator: Poisson arrivals
+// of foreign jobs holding worker nodes for log-normal durations, stopping
+// at the horizon so event-draining runs terminate.
+func (c *cluster) startBackground(horizon time.Duration) {
+	// Warm start: the grid is already ~utilized when the experiment begins,
+	// like any production infrastructure.
+	expected := float64(c.cfg.BackgroundMeanDur) / float64(c.cfg.BackgroundMeanIAT)
+	warm := int(expected)
+	if warm > c.cfg.Nodes {
+		warm = c.cfg.Nodes
+	}
+	for i := 0; i < warm; i++ {
+		// Residual durations of jobs already in flight.
+		d := time.Duration(c.rnd.Float64() * float64(c.cfg.BackgroundMeanDur))
+		c.occupy(d)
+	}
+	var next func()
+	next = func() {
+		iat := time.Duration(c.rnd.Exponential(float64(c.cfg.BackgroundMeanIAT)))
+		if c.g.Eng.Now()+iat > sim.Time(horizon) {
+			return
+		}
+		c.g.Eng.Schedule(iat, func() {
+			d := time.Duration(c.rnd.LogNormalMeanSD(
+				float64(c.cfg.BackgroundMeanDur), float64(c.cfg.BackgroundSDDur)))
+			c.occupy(d)
+			next()
+		})
+	}
+	next()
+}
+
+func (c *cluster) occupy(d time.Duration) {
+	c.bgJobs++
+	c.nodes.Use(d, nil)
+}
+
+// FileError decorates a catalog miss with job and file names.
+type FileError struct {
+	Job  string
+	File string
+	Err  error
+}
+
+func (e *FileError) Error() string {
+	return "grid: job " + e.Job + ": file " + e.File + ": " + e.Err.Error()
+}
+
+func (e *FileError) Unwrap() error { return e.Err }

@@ -1,0 +1,238 @@
+// Package grid simulates an EGEE/LCG2-style production grid: a serialized
+// submission User Interface, a matchmaking Resource Broker, computing
+// elements (clusters of heterogeneous worker nodes behind FIFO batch
+// queues), storage elements with a replica catalog, a file transfer model,
+// multi-user background load, and job failures with transparent
+// resubmission.
+//
+// The paper's evaluation platform is the EGEE production infrastructure;
+// its findings hinge on the grid overhead (submission + scheduling +
+// queuing + transfer) being large and highly variable. This package
+// reproduces those mechanisms as a discrete-event model so that the
+// enactor's optimizations (data parallelism, service parallelism, job
+// grouping) act on the same levers as on the real infrastructure.
+package grid
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// ClusterConfig describes one computing element.
+type ClusterConfig struct {
+	Name  string
+	Nodes int // worker nodes
+	// MinSpeed and MaxSpeed bound the per-job node speed factor (a job's
+	// compute time is Runtime / speed). EGEE worker nodes are heterogeneous
+	// commodity PCs.
+	MinSpeed, MaxSpeed float64
+	// TransferMBps is the bandwidth of the link between the cluster and its
+	// close storage element, shared by TransferStreams concurrent streams.
+	TransferMBps    float64
+	TransferStreams int
+	// Background (multi-user) load: Poisson arrivals of foreign jobs with
+	// log-normally distributed durations occupying worker nodes.
+	BackgroundMeanIAT time.Duration // mean inter-arrival time (0 disables)
+	BackgroundMeanDur time.Duration
+	BackgroundSDDur   time.Duration
+}
+
+// OverheadConfig groups the middleware latency distributions. All
+// distributions are log-normal with the given mean and standard deviation,
+// matching the paper's observation of a high and variable overhead.
+type OverheadConfig struct {
+	// SubmitMean/SD: per-job latency at the User Interface. Submissions are
+	// serialized (one UI process), which bounds the submission throughput —
+	// the mechanism behind the residual slope under full data parallelism.
+	SubmitMean, SubmitSD time.Duration
+	// BrokerMean/SD: matchmaking latency at the Resource Broker.
+	BrokerMean, BrokerSD time.Duration
+	// SubmitLoadFactor models middleware saturation: the effective
+	// submission latency is multiplied by (1 + factor × queued requests).
+	// Burst submission (data parallelism over a whole input set) drives the
+	// User Interface and Resource Broker into their loaded regime, which
+	// the paper observes as "the increasing load of the middleware
+	// services on a production infrastructure cannot be neglected".
+	SubmitLoadFactor float64
+	// DispatchMean/SD: local resource management system overhead between a
+	// worker node becoming available and the job actually starting.
+	DispatchMean, DispatchSD time.Duration
+	// TransferLatency is the fixed per-file transfer setup cost.
+	TransferLatency time.Duration
+}
+
+// FailureConfig models job failures. A failing job consumes a uniform
+// fraction of its runtime, is detected after DetectDelay, and is
+// resubmitted transparently until MaxRetries total attempts have been made
+// (as the paper's generic wrapper does; Fig. 6's narrative: "D0 was
+// submitted twice because an error occurred").
+type FailureConfig struct {
+	Probability float64
+	DetectDelay time.Duration
+	MaxRetries  int
+}
+
+// Config assembles a grid.
+type Config struct {
+	Clusters  []ClusterConfig
+	Overheads OverheadConfig
+	Failures  FailureConfig
+	// BrokerSlots is the number of jobs the Resource Broker can match
+	// concurrently.
+	BrokerSlots int
+	// BackgroundHorizon stops background load generation after this much
+	// virtual time, so Engine.Run terminates in tests that drain all events.
+	BackgroundHorizon time.Duration
+	Seed              uint64
+}
+
+// DefaultConfig returns a production-grid model: ten clusters, ~1380
+// nodes total, ~75% background utilization, serialized submission with
+// load-dependent middleware latency, and per-job queuing/dispatch overhead
+// with a heavy tail. The scale is smaller than 2006 EGEE but the regime is
+// the same: abundant CPU capacity, expensive and highly variable
+// middleware (the paper's "around 10 minutes, ± 5 minutes").
+func DefaultConfig() Config {
+	clusters := make([]ClusterConfig, 0, 10)
+	sizes := []int{288, 216, 192, 168, 144, 120, 96, 72, 48, 36}
+	for i, n := range sizes {
+		clusters = append(clusters, ClusterConfig{
+			Name:              fmt.Sprintf("ce%02d", i),
+			Nodes:             n,
+			MinSpeed:          0.8,
+			MaxSpeed:          1.3,
+			TransferMBps:      10,
+			TransferStreams:   4,
+			BackgroundMeanIAT: time.Duration(float64(42*time.Second) * 288 / float64(n)),
+			BackgroundMeanDur: 50 * time.Minute,
+			BackgroundSDDur:   35 * time.Minute,
+		})
+	}
+	return Config{
+		Clusters: clusters,
+		Overheads: OverheadConfig{
+			SubmitMean: 20 * time.Second, SubmitSD: 9 * time.Second,
+			SubmitLoadFactor: 0,
+			BrokerMean:       25 * time.Second, BrokerSD: 15 * time.Second,
+			DispatchMean: 90 * time.Second, DispatchSD: 180 * time.Second,
+			TransferLatency: 2 * time.Second,
+		},
+		Failures: FailureConfig{
+			Probability: 0.04,
+			DetectDelay: 6 * time.Minute,
+			MaxRetries:  5,
+		},
+		BrokerSlots:       4,
+		BackgroundHorizon: 14 * 24 * time.Hour,
+		Seed:              1,
+	}
+}
+
+// IdealConfig returns a frictionless grid: a single huge homogeneous
+// cluster, zero middleware latency, no background load, no failures,
+// instant transfers. On it, the enactor's measured makespans reproduce the
+// theoretical model of Sec. 3.5 exactly, which is how the model equations
+// are validated.
+func IdealConfig(nodes int) Config {
+	return Config{
+		Clusters: []ClusterConfig{{
+			Name:            "ideal",
+			Nodes:           nodes,
+			MinSpeed:        1,
+			MaxSpeed:        1,
+			TransferMBps:    1e12,
+			TransferStreams: nodes,
+		}},
+		BrokerSlots:       nodes,
+		BackgroundHorizon: 0,
+		Seed:              1,
+	}
+}
+
+// Grid is a simulated grid infrastructure bound to a simulation engine.
+type Grid struct {
+	Eng      *sim.Engine
+	cfg      Config
+	ui       *sim.Resource
+	broker   *sim.Resource
+	clusters []*cluster
+	catalog  *Catalog
+	rnd      *rng.Source
+	records  []*JobRecord
+	nextID   int
+}
+
+// New builds a grid on the engine from the configuration.
+func New(eng *sim.Engine, cfg Config) *Grid {
+	if len(cfg.Clusters) == 0 {
+		panic("grid: config has no clusters")
+	}
+	if cfg.BrokerSlots <= 0 {
+		cfg.BrokerSlots = 1
+	}
+	g := &Grid{
+		Eng:     eng,
+		cfg:     cfg,
+		ui:      sim.NewResource(eng, 1),
+		broker:  sim.NewResource(eng, cfg.BrokerSlots),
+		catalog: NewCatalog(),
+		rnd:     rng.New(cfg.Seed),
+	}
+	for i, cc := range cfg.Clusters {
+		c := newCluster(g, cc, g.rnd.Fork(uint64(i)+100))
+		g.clusters = append(g.clusters, c)
+		if cc.BackgroundMeanIAT > 0 && cfg.BackgroundHorizon > 0 {
+			c.startBackground(cfg.BackgroundHorizon)
+		}
+	}
+	return g
+}
+
+// Catalog returns the grid's replica catalog.
+func (g *Grid) Catalog() *Catalog { return g.catalog }
+
+// Config returns the configuration the grid was built from.
+func (g *Grid) Config() Config { return g.cfg }
+
+// Records returns the records of all jobs submitted so far, in submission
+// order. Records of in-flight jobs are included and still mutating.
+func (g *Grid) Records() []*JobRecord { return g.records }
+
+// TotalNodes returns the total worker-node count across clusters.
+func (g *Grid) TotalNodes() int {
+	n := 0
+	for _, c := range g.clusters {
+		n += c.cfg.Nodes
+	}
+	return n
+}
+
+// BusyNodes returns the number of currently occupied worker nodes
+// (foreground and background jobs).
+func (g *Grid) BusyNodes() int {
+	n := 0
+	for _, c := range g.clusters {
+		n += c.nodes.Busy()
+	}
+	return n
+}
+
+// QueuedJobs returns the number of jobs waiting in batch queues.
+func (g *Grid) QueuedJobs() int {
+	n := 0
+	for _, c := range g.clusters {
+		n += c.nodes.Waiting()
+	}
+	return n
+}
+
+func (g *Grid) drawLogNormal(mean, sd time.Duration) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	v := g.rnd.LogNormalMeanSD(float64(mean), float64(sd))
+	return time.Duration(v)
+}

@@ -1,0 +1,197 @@
+package grid
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// FileDecl declares an output file a job will produce and register.
+type FileDecl struct {
+	Name   string
+	SizeMB float64
+}
+
+// JobSpec describes a computing task: the composed command line, the files
+// to stage in (by catalog name), the files it will produce, and its compute
+// time on a reference-speed node.
+type JobSpec struct {
+	// Name tags the job for traces (e.g. "crestLines[3]").
+	Name string
+	// Command is the composed command line. The simulator does not execute
+	// it; it is recorded for traces and inspected by tests, mirroring the
+	// dynamically composed invocation of the paper's generic wrapper.
+	Command string
+	// Inputs are catalog names of files to transfer to the worker node
+	// before computing. Unknown names fail the job permanently.
+	Inputs []string
+	// Outputs are files registered in the catalog on success.
+	Outputs []FileDecl
+	// Runtime is the compute time on a speed-1.0 node.
+	Runtime time.Duration
+}
+
+// JobStatus is a job's lifecycle state.
+type JobStatus int
+
+// Job lifecycle states, in order of progression.
+const (
+	StatusSubmitted JobStatus = iota // handed to the UI
+	StatusAccepted                   // UI forwarded to the broker
+	StatusMatched                    // broker picked a computing element
+	StatusQueued                     // waiting in the CE batch queue
+	StatusRunning                    // on a worker node (staging or computing)
+	StatusCompleted
+	StatusFailed
+)
+
+var statusNames = [...]string{"submitted", "accepted", "matched", "queued", "running", "completed", "failed"}
+
+func (s JobStatus) String() string {
+	if int(s) < len(statusNames) {
+		return statusNames[s]
+	}
+	return fmt.Sprintf("JobStatus(%d)", int(s))
+}
+
+// JobRecord carries a job's identity and per-phase timestamps. Fields other
+// than timestamps are set once; timestamps are filled as the job
+// progresses. All times are virtual.
+type JobRecord struct {
+	ID      int
+	Spec    JobSpec
+	Status  JobStatus
+	Cluster string
+	// Attempts counts submissions including resubmissions after failures.
+	Attempts int
+
+	Submitted sim.Time // Submit called
+	Accepted  sim.Time // UI latency paid, forwarded to broker
+	Matched   sim.Time // broker matched to a CE (last attempt)
+	Started   sim.Time // worker node acquired (last attempt)
+	InputDone sim.Time // input staging finished (last attempt)
+	Completed sim.Time // terminal instant (success or final failure)
+
+	Err error
+}
+
+// Overhead returns the grid overhead of the job: everything between
+// submission and the start of useful computation on the final attempt
+// (submission + matchmaking + queuing + staging), as the paper defines it.
+func (r *JobRecord) Overhead() time.Duration {
+	return time.Duration(r.InputDone - r.Submitted)
+}
+
+// Makespan returns submission-to-completion time.
+func (r *JobRecord) Makespan() time.Duration {
+	return time.Duration(r.Completed - r.Submitted)
+}
+
+// maxSubmitLoad caps the middleware saturation multiplier: a loaded UI and
+// Resource Broker degrade, but past a point clients time out and back off
+// rather than queueing indefinitely.
+const maxSubmitLoad = 2.5
+
+// ErrNoSuchFile reports a job input absent from the replica catalog.
+var ErrNoSuchFile = errors.New("grid: input file not in replica catalog")
+
+// ErrTooManyFailures reports a job that exhausted its resubmissions.
+var ErrTooManyFailures = errors.New("grid: job failed after maximum retries")
+
+// Submit enters a job into the grid. done is invoked exactly once, in
+// virtual time, when the job reaches a terminal state. Resubmission after
+// failure is transparent: done only sees the final outcome.
+//
+// Submit is asynchronous and returns the job's record immediately, so
+// callers can observe progress.
+func (g *Grid) Submit(spec JobSpec, done func(*JobRecord)) *JobRecord {
+	if done == nil {
+		panic("grid: Submit with nil completion callback")
+	}
+	rec := &JobRecord{
+		ID:        g.nextID,
+		Spec:      spec,
+		Status:    StatusSubmitted,
+		Submitted: g.Eng.Now(),
+	}
+	g.nextID++
+	g.records = append(g.records, rec)
+
+	// Serialized UI submission: one job at a time pays the submit latency,
+	// inflated by the middleware's current load (queued submissions).
+	g.ui.Acquire(func() {
+		d := g.drawLogNormal(g.cfg.Overheads.SubmitMean, g.cfg.Overheads.SubmitSD)
+		if f := g.cfg.Overheads.SubmitLoadFactor; f > 0 {
+			mult := 1 + f*float64(g.ui.Waiting())
+			if mult > maxSubmitLoad {
+				mult = maxSubmitLoad
+			}
+			d = time.Duration(float64(d) * mult)
+		}
+		g.Eng.Schedule(d, func() {
+			g.ui.Release()
+			rec.Status = StatusAccepted
+			rec.Accepted = g.Eng.Now()
+			g.match(rec, done)
+		})
+	})
+	return rec
+}
+
+// match sends the job through the Resource Broker and on to a cluster.
+func (g *Grid) match(rec *JobRecord, done func(*JobRecord)) {
+	rec.Attempts++
+	g.broker.Acquire(func() {
+		g.Eng.Schedule(g.drawLogNormal(g.cfg.Overheads.BrokerMean, g.cfg.Overheads.BrokerSD), func() {
+			g.broker.Release()
+			c := g.pickCluster()
+			rec.Status = StatusMatched
+			rec.Matched = g.Eng.Now()
+			rec.Cluster = c.cfg.Name
+			c.enqueue(rec, func(failed bool) {
+				g.settle(rec, failed, done)
+			})
+		})
+	})
+}
+
+// settle finalizes an attempt: success completes the job, failure
+// resubmits through the broker until retries run out.
+func (g *Grid) settle(rec *JobRecord, failed bool, done func(*JobRecord)) {
+	if !failed {
+		rec.Status = StatusCompleted
+		rec.Completed = g.Eng.Now()
+		for _, out := range rec.Spec.Outputs {
+			g.catalog.Register(out.Name, out.SizeMB)
+		}
+		done(rec)
+		return
+	}
+	if rec.Err == nil && rec.Attempts >= g.cfg.Failures.MaxRetries {
+		rec.Err = ErrTooManyFailures
+	}
+	if rec.Err != nil {
+		rec.Status = StatusFailed
+		rec.Completed = g.Eng.Now()
+		done(rec)
+		return
+	}
+	// Transparent resubmission, as the generic wrapper performs it.
+	g.match(rec, done)
+}
+
+// pickCluster ranks computing elements the way the LCG2 broker does: by
+// estimated time to drain their queue, with matchmaking noise (the broker's
+// view of queue states is stale in production).
+func (g *Grid) pickCluster() *cluster {
+	best := g.clusters[0]
+	bestRank := best.rank(g.rnd.Uniform(0.7, 1.3))
+	for _, c := range g.clusters[1:] {
+		if r := c.rank(g.rnd.Uniform(0.7, 1.3)); r < bestRank {
+			best, bestRank = c, r
+		}
+	}
+	return best
+}

@@ -1,0 +1,90 @@
+package iterstrat
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads the compact strategy notation produced by Strategy.String:
+//
+//	port
+//	dot(a,b,...)
+//	cross(dot(a,b),c)
+//
+// Port names may contain any characters except '(', ')', ',' and
+// whitespace. Parse(s).String() == s for canonical inputs.
+func Parse(s string) (Strategy, error) {
+	p := &parser{input: s}
+	strat, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return nil, fmt.Errorf("iterstrat: trailing input at offset %d in %q", p.pos, s)
+	}
+	if err := Validate(strat); err != nil {
+		return nil, err
+	}
+	return strat, nil
+}
+
+type parser struct {
+	input string
+	pos   int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.input) && (p.input[p.pos] == ' ' || p.input[p.pos] == '\t' || p.input[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *parser) parseNode() (Strategy, error) {
+	p.skipSpace()
+	name := p.readName()
+	if name == "" {
+		return nil, fmt.Errorf("iterstrat: expected a name at offset %d in %q", p.pos, p.input)
+	}
+	p.skipSpace()
+	if p.pos >= len(p.input) || p.input[p.pos] != '(' {
+		return Port(name), nil
+	}
+	if name != "dot" && name != "cross" {
+		return nil, fmt.Errorf("iterstrat: unknown operator %q in %q", name, p.input)
+	}
+	p.pos++ // consume '('
+	var children []Strategy
+	for {
+		child, err := p.parseNode()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, child)
+		p.skipSpace()
+		if p.pos >= len(p.input) {
+			return nil, fmt.Errorf("iterstrat: unterminated %s(...) in %q", name, p.input)
+		}
+		switch p.input[p.pos] {
+		case ',':
+			p.pos++
+		case ')':
+			p.pos++
+			if name == "dot" {
+				return Dot(children...), nil
+			}
+			return Cross(children...), nil
+		default:
+			return nil, fmt.Errorf("iterstrat: unexpected %q at offset %d in %q",
+				p.input[p.pos], p.pos, p.input)
+		}
+	}
+}
+
+func (p *parser) readName() string {
+	start := p.pos
+	for p.pos < len(p.input) && !strings.ContainsRune("(),	 \n", rune(p.input[p.pos])) {
+		p.pos++
+	}
+	return p.input[start:p.pos]
+}

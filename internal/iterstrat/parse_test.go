@@ -1,0 +1,142 @@
+package iterstrat
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"a",
+		"dot(a,b)",
+		"cross(a,b)",
+		"cross(dot(a,b),c)",
+		"dot(cross(a,b),cross(c,d))",
+		"dot(a,b,c)",
+		"cross(a,b,c)",
+		"cross(dot(x1,y1),dot(x2,y2),z)",
+	}
+	for _, c := range cases {
+		s, err := Parse(c)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c, err)
+			continue
+		}
+		if got := s.String(); got != c {
+			t.Errorf("Parse(%q).String() = %q", c, got)
+		}
+	}
+}
+
+func TestParseWhitespace(t *testing.T) {
+	s, err := Parse(" cross( dot(a, b),\n c )")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.String(); got != "cross(dot(a,b),c)" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"dot(",
+		"dot()",
+		"dot(a,)",
+		"dot(a,b))",
+		"dot(a b)",
+		"union(a,b)",
+		"dot(a,a)", // duplicate port rejected by Validate
+		"(a)",
+		"dot(a,b) trailing",
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", c)
+		}
+	}
+}
+
+// Property: String/Parse round-trips random strategy trees.
+func TestQuickParseRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		next := 0
+		var gen func(depth int) Strategy
+		gen = func(depth int) Strategy {
+			if depth == 0 || r.Intn(3) == 0 {
+				next++
+				return Port(portName(next))
+			}
+			n := r.Intn(3) + 1
+			children := make([]Strategy, n)
+			for i := range children {
+				children[i] = gen(depth - 1)
+			}
+			if r.Intn(2) == 0 {
+				return Dot(children...)
+			}
+			return Cross(children...)
+		}
+		s := gen(3)
+		parsed, err := Parse(s.String())
+		return err == nil && parsed.String() == s.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func portName(i int) string {
+	name := ""
+	for i > 0 {
+		name = string(rune('a'+i%26)) + name
+		i /= 26
+	}
+	return "p" + name
+}
+
+func TestDecomposeForms(t *testing.T) {
+	op, children, port := Decompose(Port("x"))
+	if op != OpPort || children != nil || port != "x" {
+		t.Fatalf("Decompose(port) = %v %v %q", op, children, port)
+	}
+	op, children, port = Decompose(Dot(Port("a"), Port("b")))
+	if op != OpDot || len(children) != 2 || port != "" {
+		t.Fatalf("Decompose(dot) = %v %v %q", op, children, port)
+	}
+	op, children, _ = Decompose(Cross(Port("a"), Port("b"), Port("c")))
+	if op != OpCross || len(children) != 3 {
+		t.Fatalf("Decompose(cross) = %v %v", op, children)
+	}
+}
+
+func TestRenameDeep(t *testing.T) {
+	s := Cross(Dot(Port("a"), Port("b")), Port("c"))
+	r := Rename(s, func(p string) string { return "X." + p })
+	if got := r.String(); got != "cross(dot(X.a,X.b),X.c)" {
+		t.Fatalf("renamed = %q", got)
+	}
+	// The original is untouched.
+	if s.String() != "cross(dot(a,b),c)" {
+		t.Fatal("Rename mutated its input")
+	}
+}
+
+func TestCloneIsolatesState(t *testing.T) {
+	tr := newTrackerForTest()
+	s := Dot(Port("a"), Port("b"))
+	c := Clone(s)
+	s.Offer("a", tr.Source("A", 0, "A0"))
+	// The clone has not seen A0: offering B0 to it completes nothing.
+	if out := c.Offer("b", tr.Source("B", 0, "B0")); len(out) != 0 {
+		t.Fatalf("clone shares matcher state: %v", out)
+	}
+	// The original completes normally.
+	if out := s.Offer("b", tr.Source("B", 0, "B0")); len(out) != 1 {
+		t.Fatalf("original lost state: %v", out)
+	}
+}

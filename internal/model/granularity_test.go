@@ -1,0 +1,145 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func baseParams() GranularityParams {
+	return GranularityParams{
+		Overhead:     2 * time.Minute,
+		SubmitSerial: 15 * time.Second,
+		Runtime:      time.Minute,
+		Items:        64,
+		Slots:        1000,
+	}
+}
+
+func TestBatchMakespanExtremes(t *testing.T) {
+	p := baseParams()
+	// k=1: 64 submissions × 15s + overhead + one wave of 1×runtime.
+	if got, want := BatchMakespan(p, 1), 64*15*time.Second+2*time.Minute+time.Minute; got != want {
+		t.Errorf("k=1: %v, want %v", got, want)
+	}
+	// k=Items: one job doing everything sequentially.
+	if got, want := BatchMakespan(p, 64), 15*time.Second+2*time.Minute+64*time.Minute; got != want {
+		t.Errorf("k=64: %v, want %v", got, want)
+	}
+}
+
+func TestBatchMakespanDegenerate(t *testing.T) {
+	p := baseParams()
+	p.Items = 0
+	if BatchMakespan(p, 4) != 0 {
+		t.Error("no items should cost nothing")
+	}
+	p = baseParams()
+	if BatchMakespan(p, 0) != BatchMakespan(p, 1) {
+		t.Error("k<1 must clamp to 1")
+	}
+	p.Slots = 0
+	if BatchMakespan(p, 1) <= 0 {
+		t.Error("zero slots must clamp to 1")
+	}
+}
+
+func TestOptimalBatchInterior(t *testing.T) {
+	// Heavy overhead, light runtime: batching should win but not collapse
+	// to a single job (submission serialization saturates first).
+	p := GranularityParams{
+		Overhead:     10 * time.Minute,
+		SubmitSerial: 30 * time.Second,
+		Runtime:      30 * time.Second,
+		Items:        100,
+		Slots:        10,
+	}
+	k, ms := OptimalBatch(p)
+	if k <= 1 {
+		t.Fatalf("heavy overhead should favour batching, got k=%d", k)
+	}
+	if k == p.Items {
+		t.Fatalf("optimum collapsed to one job (k=%d) despite parallel slots", k)
+	}
+	if ms != BatchMakespan(p, k) {
+		t.Fatal("reported makespan inconsistent")
+	}
+}
+
+func TestOptimalBatchCheapOverhead(t *testing.T) {
+	// Negligible overhead: no reason to batch.
+	p := GranularityParams{
+		Overhead:     time.Second,
+		SubmitSerial: 0,
+		Runtime:      10 * time.Minute,
+		Items:        50,
+		Slots:        1000,
+	}
+	if k, _ := OptimalBatch(p); k != 1 {
+		t.Fatalf("cheap overhead should keep full parallelism, got k=%d", k)
+	}
+}
+
+func TestGranularitySweep(t *testing.T) {
+	p := baseParams()
+	sweep := GranularitySweep(p)
+	if len(sweep) != p.Items {
+		t.Fatalf("sweep length = %d", len(sweep))
+	}
+	k, best := OptimalBatch(p)
+	if sweep[k-1] != best {
+		t.Fatalf("sweep[%d] = %v, OptimalBatch reports %v", k-1, sweep[k-1], best)
+	}
+	for _, v := range sweep {
+		if v < best {
+			t.Fatal("OptimalBatch missed a better point")
+		}
+	}
+	if GranularitySweep(GranularityParams{}) != nil {
+		t.Fatal("empty sweep should be nil")
+	}
+}
+
+// Property: OptimalBatch equals the brute-force argmin and never exceeds
+// the bounds.
+func TestQuickOptimalBatchIsArgmin(t *testing.T) {
+	f := func(oRaw, sRaw, rRaw uint8, nRaw uint8, wRaw uint8) bool {
+		p := GranularityParams{
+			Overhead:     time.Duration(oRaw) * time.Second,
+			SubmitSerial: time.Duration(sRaw%30) * time.Second,
+			Runtime:      time.Duration(rRaw%120+1) * time.Second,
+			Items:        int(nRaw%40) + 1,
+			Slots:        int(wRaw%16) + 1,
+		}
+		k, ms := OptimalBatch(p)
+		if k < 1 || k > p.Items {
+			return false
+		}
+		for kk := 1; kk <= p.Items; kk++ {
+			if BatchMakespan(p, kk) < ms {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: increasing the per-job overhead never decreases the optimal
+// batch size's makespan, and larger overheads never make smaller batches
+// strictly more attractive than they were.
+func TestQuickOverheadMonotonicity(t *testing.T) {
+	f := func(oRaw uint8) bool {
+		p := baseParams()
+		p.Overhead = time.Duration(oRaw) * time.Second
+		_, t1 := OptimalBatch(p)
+		p.Overhead += time.Minute
+		_, t2 := OptimalBatch(p)
+		return t2 >= t1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,101 @@
+package sim
+
+// Resource is a capacity-limited server with a FIFO wait queue. It is the
+// building block for worker nodes, network links, and the serialized grid
+// submission interface.
+//
+// A caller acquires a slot with Acquire; when a slot is granted the supplied
+// callback runs (in virtual time). The holder must call Release exactly once
+// when done. For the common hold-for-a-duration pattern, Use wraps
+// Acquire/Schedule/Release.
+type Resource struct {
+	eng      *Engine
+	capacity int
+	busy     int
+	queue    []func()
+	peakBusy int
+	peakWait int
+	grants   uint64
+}
+
+// NewResource returns a resource with the given number of slots on the
+// engine. Capacity must be positive.
+func NewResource(eng *Engine, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: NewResource with non-positive capacity")
+	}
+	return &Resource{eng: eng, capacity: capacity}
+}
+
+// Capacity returns the total number of slots.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// Busy returns the number of currently held slots.
+func (r *Resource) Busy() int { return r.busy }
+
+// Waiting returns the number of queued acquisition requests.
+func (r *Resource) Waiting() int { return len(r.queue) }
+
+// PeakBusy returns the maximum number of simultaneously held slots observed.
+func (r *Resource) PeakBusy() int { return r.peakBusy }
+
+// PeakWaiting returns the maximum observed queue length.
+func (r *Resource) PeakWaiting() int { return r.peakWait }
+
+// Grants returns how many acquisitions have been granted so far.
+func (r *Resource) Grants() uint64 { return r.grants }
+
+// Acquire requests a slot. granted runs as soon as a slot is available
+// (immediately, in the current event, if one is free). The holder must call
+// Release exactly once afterwards.
+func (r *Resource) Acquire(granted func()) {
+	if granted == nil {
+		panic("sim: Acquire with nil callback")
+	}
+	if r.busy < r.capacity {
+		r.grant(granted)
+		return
+	}
+	r.queue = append(r.queue, granted)
+	if len(r.queue) > r.peakWait {
+		r.peakWait = len(r.queue)
+	}
+}
+
+func (r *Resource) grant(granted func()) {
+	r.busy++
+	r.grants++
+	if r.busy > r.peakBusy {
+		r.peakBusy = r.busy
+	}
+	granted()
+}
+
+// Release returns a slot. If requests are queued, the oldest one is granted
+// within the same virtual instant.
+func (r *Resource) Release() {
+	if r.busy <= 0 {
+		panic("sim: Release without matching Acquire")
+	}
+	r.busy--
+	if len(r.queue) > 0 {
+		next := r.queue[0]
+		// Shift rather than re-slice forever; queues here are short-lived.
+		copy(r.queue, r.queue[1:])
+		r.queue = r.queue[:len(r.queue)-1]
+		r.grant(next)
+	}
+}
+
+// Use acquires a slot, holds it for d, then releases it and calls done
+// (which may be nil). It is the hold-for-a-duration convenience wrapper.
+func (r *Resource) Use(d Time, done func()) {
+	r.Acquire(func() {
+		r.eng.Schedule(d, func() {
+			r.Release()
+			if done != nil {
+				done()
+			}
+		})
+	})
+}

@@ -1,0 +1,158 @@
+// Package sim implements the discrete-event simulation engine on which the
+// grid substrate and the workflow enactor run.
+//
+// Time is virtual: a time.Duration measured from the start of the run. All
+// activity is expressed as events (callbacks) scheduled at virtual instants.
+// Events scheduled for the same instant execute in schedule order, which
+// makes runs deterministic for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a virtual instant, measured as an offset from the simulation start.
+type Time = time.Duration
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// At returns the virtual instant this event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an event that has
+// already fired (or was already cancelled) is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use: all simulated components run in event callbacks on the
+// engine's (single) control flow, which is what makes runs deterministic.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	fired  uint64
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are scheduled and not yet fired or
+// cancelled. Cancelled events still in the heap are not counted.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Schedule arranges for fn to run after delay. A negative delay panics:
+// scheduling into the past would break causality.
+func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: Schedule with negative delay %v", delay))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At arranges for fn to run at the absolute virtual instant t, which must
+// not precede the current time.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: At(%v) precedes now (%v)", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: At with nil callback")
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Step fires the next pending event, advancing the clock to its instant.
+// It reports whether an event fired (false means the queue was empty).
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with instants <= t, then advances the clock to t.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 {
+		// Peek at the earliest non-cancelled event.
+		ev := e.events[0]
+		if ev.canceled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if ev.at > t {
+			break
+		}
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}

@@ -1,0 +1,349 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("new engine clock = %v, want 0", e.Now())
+	}
+}
+
+func TestScheduleAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.Schedule(5*time.Second, func() { at = e.Now() })
+	e.Run()
+	if at != 5*time.Second {
+		t.Fatalf("event fired at %v, want 5s", at)
+	}
+	if e.Now() != 5*time.Second {
+		t.Fatalf("clock after run = %v, want 5s", e.Now())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3*time.Second, func() { order = append(order, 3) })
+	e.Schedule(1*time.Second, func() { order = append(order, 1) })
+	e.Schedule(2*time.Second, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired in order %v, want [1 2 3]", order)
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events fired in order %v, want schedule order", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var finished Time
+	e.Schedule(time.Second, func() {
+		e.Schedule(2*time.Second, func() {
+			finished = e.Now()
+		})
+	})
+	e.Run()
+	if finished != 3*time.Second {
+		t.Fatalf("nested event fired at %v, want 3s", finished)
+	}
+}
+
+func TestZeroDelayFiresAtCurrentInstant(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.Schedule(time.Second, func() {
+		e.Schedule(0, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != time.Second {
+		t.Fatalf("zero-delay event fired at %v, want 1s", at)
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule(-1) did not panic")
+		}
+	}()
+	NewEngine().Schedule(-time.Second, func() {})
+}
+
+func TestAtInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At in the past did not panic")
+			}
+		}()
+		e.At(0, func() {})
+	})
+	e.Run()
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil callback did not panic")
+		}
+	}()
+	NewEngine().Schedule(0, nil)
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(time.Second, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Fired() != 0 {
+		t.Fatalf("Fired() = %d after cancelled run, want 0", e.Fired())
+	}
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(1*time.Second, func() { order = append(order, 1) })
+	ev := e.Schedule(2*time.Second, func() { order = append(order, 2) })
+	e.Schedule(3*time.Second, func() { order = append(order, 3) })
+	ev.Cancel()
+	e.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 3 {
+		t.Fatalf("order = %v, want [1 3]", order)
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step on empty engine returned true")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, d := range []Time{time.Second, 2 * time.Second, 5 * time.Second} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(3 * time.Second)
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(3s) fired %d events, want 2", len(fired))
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("clock = %v after RunUntil(3s)", e.Now())
+	}
+	e.Run()
+	if len(fired) != 3 {
+		t.Fatalf("Run after RunUntil fired %d total, want 3", len(fired))
+	}
+}
+
+func TestRunUntilBoundaryInclusive(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(3*time.Second, func() { fired = true })
+	e.RunUntil(3 * time.Second)
+	if !fired {
+		t.Fatal("RunUntil(t) did not fire an event scheduled exactly at t")
+	}
+}
+
+func TestPendingExcludesCancelled(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(time.Second, func() {})
+	ev := e.Schedule(2*time.Second, func() {})
+	ev.Cancel()
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
+}
+
+func TestEventAt(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(7*time.Second, func() {})
+	if ev.At() != 7*time.Second {
+		t.Fatalf("Event.At() = %v, want 7s", ev.At())
+	}
+}
+
+// Property: regardless of schedule order, events fire in non-decreasing time
+// order and the clock never goes backwards.
+func TestQuickTimeOrdering(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		r := rng.New(seed)
+		e := NewEngine()
+		count := int(n%50) + 1
+		delays := make([]Time, count)
+		for i := range delays {
+			delays[i] = Time(r.Intn(1000)) * time.Millisecond
+		}
+		var fired []Time
+		for _, d := range delays {
+			e.Schedule(d, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != count {
+			return false
+		}
+		sorted := append([]Time(nil), delays...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i := range fired {
+			if fired[i] != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResourceImmediateGrant(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 2)
+	granted := 0
+	r.Acquire(func() { granted++ })
+	r.Acquire(func() { granted++ })
+	if granted != 2 {
+		t.Fatalf("granted = %d, want 2 immediate grants", granted)
+	}
+	if r.Busy() != 2 {
+		t.Fatalf("Busy() = %d, want 2", r.Busy())
+	}
+}
+
+func TestResourceQueuesBeyondCapacity(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 1)
+	var order []int
+	r.Use(time.Second, func() { order = append(order, 1) })
+	r.Use(time.Second, func() { order = append(order, 2) })
+	r.Use(time.Second, func() { order = append(order, 3) })
+	if r.Waiting() != 2 {
+		t.Fatalf("Waiting() = %d, want 2", r.Waiting())
+	}
+	e.Run()
+	if e.Now() != 3*time.Second {
+		t.Fatalf("serialized holds finished at %v, want 3s", e.Now())
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("FIFO order violated: %v", order)
+		}
+	}
+}
+
+func TestResourceParallelHolds(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 3)
+	done := 0
+	for i := 0; i < 3; i++ {
+		r.Use(time.Second, func() { done++ })
+	}
+	e.Run()
+	if e.Now() != time.Second {
+		t.Fatalf("3 parallel holds on capacity 3 finished at %v, want 1s", e.Now())
+	}
+	if done != 3 {
+		t.Fatalf("done = %d, want 3", done)
+	}
+}
+
+func TestResourceReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release without Acquire did not panic")
+		}
+	}()
+	NewResource(NewEngine(), 1).Release()
+}
+
+func TestResourceZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewResource(0) did not panic")
+		}
+	}()
+	NewResource(NewEngine(), 0)
+}
+
+func TestResourceStats(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 2)
+	for i := 0; i < 5; i++ {
+		r.Use(time.Second, nil)
+	}
+	e.Run()
+	if r.PeakBusy() != 2 {
+		t.Errorf("PeakBusy = %d, want 2", r.PeakBusy())
+	}
+	if r.PeakWaiting() != 3 {
+		t.Errorf("PeakWaiting = %d, want 3", r.PeakWaiting())
+	}
+	if r.Grants() != 5 {
+		t.Errorf("Grants = %d, want 5", r.Grants())
+	}
+	if r.Busy() != 0 {
+		t.Errorf("Busy after drain = %d, want 0", r.Busy())
+	}
+}
+
+// Property: with capacity c and n unit holds, the makespan is
+// ceil(n/c) time units and the resource never exceeds its capacity.
+func TestQuickResourceMakespan(t *testing.T) {
+	f := func(nRaw, cRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		c := int(cRaw%8) + 1
+		e := NewEngine()
+		r := NewResource(e, c)
+		for i := 0; i < n; i++ {
+			r.Use(time.Second, nil)
+		}
+		e.Run()
+		want := Time((n+c-1)/c) * time.Second
+		return e.Now() == want && r.PeakBusy() <= c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(Time(j)*time.Millisecond, func() {})
+		}
+		e.Run()
+	}
+}

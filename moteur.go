@@ -1,0 +1,195 @@
+// Package moteur is the public API of this reproduction of
+//
+//	Glatard, Montagnat, Pennec — "Efficient services composition for
+//	grid-enabled data-intensive applications", HPDC 2006.
+//
+// It re-exports the building blocks needed to define service-based
+// workflows, execute them with the MOTEUR enactor under any combination of
+// data parallelism, service parallelism and job grouping, and reproduce
+// the paper's evaluation on a simulated EGEE-style production grid.
+//
+// The quickest start:
+//
+//	eng := moteur.NewEngine()
+//	g := moteur.NewGrid(eng, moteur.DefaultGridConfig())
+//	wf := moteur.NewWorkflow("demo")
+//	// … add sources, wrapper-backed processors, links …
+//	enactor, _ := moteur.NewEnactor(eng, wf, moteur.Options{
+//		DataParallelism:    true,
+//		ServiceParallelism: true,
+//		JobGrouping:        true,
+//	})
+//	result, _ := enactor.Run(inputs)
+//
+// See examples/ for complete programs and internal/bronze for the paper's
+// full Bronze Standard application.
+package moteur
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/descriptor"
+	"repro/internal/grid"
+	"repro/internal/iterstrat"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/provenance"
+	"repro/internal/scufl"
+	"repro/internal/services"
+	"repro/internal/sim"
+	"repro/internal/workflow"
+)
+
+// Simulation engine.
+type (
+	// Engine is the discrete-event simulation engine everything runs on.
+	Engine = sim.Engine
+	// VirtualTime is an instant of simulated time.
+	VirtualTime = sim.Time
+)
+
+// NewEngine returns a fresh simulation engine with the clock at zero.
+func NewEngine() *Engine { return sim.NewEngine() }
+
+// Grid substrate.
+type (
+	// Grid is the simulated EGEE-style infrastructure.
+	Grid = grid.Grid
+	// GridConfig parametrizes the infrastructure model.
+	GridConfig = grid.Config
+	// JobRecord carries per-phase timestamps of one grid job.
+	JobRecord = grid.JobRecord
+)
+
+// NewGrid builds a grid on the engine.
+func NewGrid(eng *Engine, cfg GridConfig) *Grid { return grid.New(eng, cfg) }
+
+// DefaultGridConfig returns the calibrated production-grid model.
+func DefaultGridConfig() GridConfig { return grid.DefaultConfig() }
+
+// IdealGridConfig returns a frictionless grid: zero middleware overhead,
+// homogeneous nodes, no background load. On it the enactor reproduces the
+// theoretical model of Sec. 3.5 exactly.
+func IdealGridConfig(nodes int) GridConfig { return grid.IdealConfig(nodes) }
+
+// Workflow model.
+type (
+	// Workflow is the application graph of processors, ports and links.
+	Workflow = workflow.Workflow
+	// Processor is one node of the graph.
+	Processor = workflow.Processor
+	// Strategy is an iteration-strategy tree (dot/cross products).
+	Strategy = iterstrat.Strategy
+)
+
+// NewWorkflow returns an empty workflow.
+func NewWorkflow(name string) *Workflow { return workflow.New(name) }
+
+// Iteration strategies (Sec. 2.2, Fig. 3).
+var (
+	// Port is a leaf strategy over one input port.
+	Port = iterstrat.Port
+	// Dot pairs items with identical provenance indices: min(n,m) results.
+	Dot = iterstrat.Dot
+	// Cross pairs all items of each input: n×m results.
+	Cross = iterstrat.Cross
+	// ParseStrategy reads the compact notation, e.g. "cross(dot(a,b),c)".
+	ParseStrategy = iterstrat.Parse
+)
+
+// Services.
+type (
+	// Service is the black-box application component abstraction.
+	Service = services.Service
+	// Wrapper is the generic submission wrapper (Sec. 3.6, Fig. 8).
+	Wrapper = services.Wrapper
+	// Grouped is a virtual service fusing several wrappers into one job.
+	Grouped = services.Grouped
+	// Local is a single-host service with bounded concurrency.
+	Local = services.Local
+	// Request is one service invocation's bound inputs.
+	Request = services.Request
+	// Response is one invocation's outcome.
+	Response = services.Response
+	// Descriptor is an executable descriptor document.
+	Descriptor = descriptor.Description
+)
+
+// Service constructors and descriptor parsing.
+var (
+	NewLocal        = services.NewLocal
+	NewWrapper      = services.NewWrapper
+	NewGrouped      = services.NewGrouped
+	ConstantRuntime = services.ConstantRuntime
+	ParseDescriptor = descriptor.Parse
+)
+
+// Enactor (the paper's contribution).
+type (
+	// Enactor executes one workflow with the selected optimizations.
+	Enactor = core.Enactor
+	// Options selects data/service parallelism and job grouping.
+	Options = core.Options
+	// Result is the outcome of one execution.
+	Result = core.Result
+	// Trace is the per-invocation execution record.
+	Trace = core.Trace
+)
+
+// NewEnactor prepares an execution of wf on eng. With Options.JobGrouping
+// the workflow is first rewritten by AutoGroup.
+func NewEnactor(eng *Engine, wf *Workflow, opts Options) (*Enactor, error) {
+	return core.New(eng, wf, opts)
+}
+
+// AutoGroup fuses eligible sequential wrapper chains into single-job
+// grouped processors (the JG optimization), returning a new workflow.
+var AutoGroup = core.AutoGroup
+
+// Data identity.
+type (
+	// Item is a data token with provenance.
+	Item = provenance.Item
+	// History is a node of an item's history tree.
+	History = provenance.Node
+)
+
+// Theoretical model (Sec. 3.5) and analysis metrics (Sec. 5.1).
+type (
+	// Matrix is the T[i][j] treatment-duration matrix of the model.
+	Matrix = model.Matrix
+	// Line is a fitted time-versus-size regression.
+	Line = metrics.Line
+)
+
+// Model formulas (equations 1–4) and metric helpers.
+var (
+	ModelSequential = model.Sequential
+	ModelDP         = model.DP
+	ModelSP         = model.SP
+	ModelDSP        = model.DSP
+	Fit             = metrics.Fit
+	SpeedUp         = metrics.SpeedUp
+	// OptimalBatch predicts the job-granularity sweet spot (Sec. 5.4
+	// future work; see Options.DataGroupSize for the enactor-side knob).
+	OptimalBatch = model.OptimalBatch
+)
+
+// GranularityParams parametrizes the job-granularity model.
+type GranularityParams = model.GranularityParams
+
+// Workflow and data-set documents.
+var (
+	// ParseScufl reads a Scufl-dialect workflow document.
+	ParseScufl = scufl.Parse
+	// WriteScufl renders a workflow back to the dialect.
+	WriteScufl = scufl.Write
+	// ParseDataSet reads an input data-set document (Sec. 4.1).
+	ParseDataSet = dataset.Parse
+)
+
+// ScuflOptions configures ParseScufl (service registry, target grid).
+type ScuflOptions = scufl.Options
+
+// ServiceRegistry binds service names referenced by a Scufl document.
+type ServiceRegistry = scufl.Registry
