@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: all build test vet bench clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full benchmark suite (paper tables, ablations, enactor scaling) with
+# allocation stats; the raw output is kept for cross-change comparison.
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' . | tee BENCH_1.json
+
+clean:
+	rm -f BENCH_1.json

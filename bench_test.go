@@ -250,6 +250,100 @@ func BenchmarkEnactorVsModel(b *testing.B) {
 	}
 }
 
+// reuseEcho returns an in→out echo that reuses one response map per
+// service: the enactor consumes Response.Outputs synchronously inside the
+// completion callback, so the harness itself adds no per-invocation
+// allocations to the measurement.
+func reuseEcho() func(services.Request) map[string]string {
+	out := make(map[string]string, 1)
+	return func(req services.Request) map[string]string {
+		out["out"] = req.Inputs["in"]
+		return out
+	}
+}
+
+// scaleChain builds a linear pipeline of nW echo services on an ideal
+// (local, uncontended) substrate, so the benchmark measures pure enactor
+// overhead rather than grid simulation.
+func scaleChain(eng *sim.Engine, nW int) *workflow.Workflow {
+	w := workflow.New("scale-chain")
+	w.AddSource("src")
+	prev, prevPort := "src", workflow.SourcePort
+	for s := 0; s < nW; s++ {
+		name := fmt.Sprintf("P%02d", s)
+		w.AddService(name, services.NewLocal(eng, name, 1<<20,
+			services.ConstantRuntime(10*time.Second), reuseEcho()),
+			[]string{"in"}, []string{"out"})
+		w.Connect(prev, prevPort, name, "in")
+		prev, prevPort = name, "out"
+	}
+	w.AddSink("sink")
+	w.Connect(prev, prevPort, "sink", workflow.SinkPort)
+	return w
+}
+
+// scaleFanout builds a one-level fan-out of width parallel echo services
+// between one source and one sink.
+func scaleFanout(eng *sim.Engine, width int) *workflow.Workflow {
+	w := workflow.New("scale-fanout")
+	w.AddSource("src")
+	w.AddSink("sink")
+	for s := 0; s < width; s++ {
+		name := fmt.Sprintf("F%02d", s)
+		w.AddService(name, services.NewLocal(eng, name, 1<<20,
+			services.ConstantRuntime(10*time.Second), reuseEcho()),
+			[]string{"in"}, []string{"out"})
+		w.Connect("src", workflow.SourcePort, name, "in")
+		w.Connect(name, "out", "sink", workflow.SinkPort)
+	}
+	return w
+}
+
+// BenchmarkEnactorScale measures the wall-clock cost of the enactor
+// control loop as the data-set size grows: chain and fan-out topologies of
+// 64 services at nD ∈ {100, 1000, 5000} items under SP+DP. The simulated
+// makespan is a closed-form constant per topology, so the benchmark doubles
+// as a determinism check while isolating enactor (not grid) overhead.
+func BenchmarkEnactorScale(b *testing.B) {
+	const nW = 64
+	opts := core.Options{DataParallelism: true, ServiceParallelism: true}
+	shapes := []struct {
+		name  string
+		build func(*sim.Engine) *workflow.Workflow
+		want  time.Duration
+	}{
+		{"chain", func(eng *sim.Engine) *workflow.Workflow { return scaleChain(eng, nW) },
+			time.Duration(nW) * 10 * time.Second},
+		{"fanout", func(eng *sim.Engine) *workflow.Workflow { return scaleFanout(eng, nW) },
+			10 * time.Second},
+	}
+	for _, shape := range shapes {
+		for _, nD := range []int{100, 1000, 5000} {
+			inputs := make([]string, nD)
+			for j := range inputs {
+				inputs[j] = fmt.Sprintf("D%d", j)
+			}
+			b.Run(fmt.Sprintf("%s/nD=%d", shape.name, nD), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					eng := sim.NewEngine()
+					w := shape.build(eng)
+					e, err := core.New(eng, w, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := e.Run(map[string][]string{"src": inputs})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Makespan != shape.want {
+						b.Fatalf("makespan %v, want %v", res.Makespan, shape.want)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkGridThroughput measures the raw event rate of the grid
 // simulator: jobs completed per wall second under burst submission.
 func BenchmarkGridThroughput(b *testing.B) {

@@ -1,0 +1,36 @@
+// Command goldengen prints golden determinism fingerprints for the Table 1
+// configurations: per (config, size), the simulated makespan in nanoseconds
+// and an FNV-1a hash over the full invocation trace and sink outputs. Used
+// to pin enactor behaviour across refactors.
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/bronze"
+)
+
+func main() {
+	for _, cfg := range bronze.Configurations() {
+		for _, size := range bronze.PaperSizes {
+			p := bronze.DefaultParams()
+			p.Seed = 1 + uint64(size)
+			res, _, err := bronze.Run(size, cfg.Opts, p)
+			if err != nil {
+				panic(err)
+			}
+			h := fnv.New64a()
+			for _, inv := range res.Trace.Invocations {
+				fmt.Fprintf(h, "%s|%s|%d|%d|%d;", inv.Processor, inv.Key(),
+					inv.Ready, inv.Started, inv.Finished)
+			}
+			for _, sink := range []string{"accuracy_translation", "accuracy_rotation"} {
+				for _, v := range res.Outputs[sink] {
+					fmt.Fprintf(h, "%s;", v)
+				}
+			}
+			fmt.Printf("{%q, %d, %d, %#x},\n", cfg.Name, size, res.Makespan, h.Sum64())
+		}
+	}
+}

@@ -1,0 +1,43 @@
+// Package arena provides a chunked allocator for objects that live until
+// the end of a run — trace entries, provenance records, invocation input
+// sets. Handing them out from chunks keeps per-event allocation off the
+// enactor's hot path; nothing is ever freed individually, the whole arena
+// is released when its owner is dropped.
+package arena
+
+const defaultChunk = 256
+
+// Chunked hands out values backed by chunked arrays. The zero value is
+// ready to use. Not safe for concurrent use.
+type Chunked[T any] struct {
+	buf []T
+}
+
+// New returns a pointer to a fresh zero value.
+func (a *Chunked[T]) New() *T {
+	if len(a.buf) == 0 {
+		a.buf = make([]T, defaultChunk)
+	}
+	v := &a.buf[0]
+	a.buf = a.buf[1:]
+	return v
+}
+
+// Slice returns a full-capacity slice of n zero values. Appending to the
+// result reallocates rather than clobbering arena neighbours. Slice(0)
+// returns nil.
+func (a *Chunked[T]) Slice(n int) []T {
+	if n == 0 {
+		return nil
+	}
+	if len(a.buf) < n {
+		size := defaultChunk
+		if n > size {
+			size = n
+		}
+		a.buf = make([]T, size)
+	}
+	out := a.buf[:n:n]
+	a.buf = a.buf[n:]
+	return out
+}

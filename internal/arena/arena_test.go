@@ -1,0 +1,49 @@
+package arena
+
+import "testing"
+
+func TestNewDistinctAndZero(t *testing.T) {
+	var a Chunked[int]
+	seen := make(map[*int]bool)
+	for i := 0; i < 1000; i++ {
+		p := a.New()
+		if *p != 0 {
+			t.Fatalf("New() returned non-zero value %d", *p)
+		}
+		if seen[p] {
+			t.Fatal("New() returned the same pointer twice")
+		}
+		seen[p] = true
+		*p = i
+	}
+}
+
+func TestSliceIsolation(t *testing.T) {
+	var a Chunked[int]
+	s1 := a.Slice(3)
+	s2 := a.Slice(3)
+	for i := range s1 {
+		s1[i] = 100 + i
+	}
+	for i, v := range s2 {
+		if v != 0 {
+			t.Fatalf("s2[%d] = %d, want 0", i, v)
+		}
+	}
+	// Appending past capacity must not clobber the neighbouring slice.
+	s1 = append(s1, 999)
+	if s2[0] != 0 {
+		t.Fatalf("append to s1 clobbered s2: %v", s2)
+	}
+	if a.Slice(0) != nil {
+		t.Fatal("Slice(0) != nil")
+	}
+}
+
+func TestSliceLargerThanChunk(t *testing.T) {
+	var a Chunked[byte]
+	s := a.Slice(10 * defaultChunk)
+	if len(s) != 10*defaultChunk {
+		t.Fatalf("len = %d", len(s))
+	}
+}

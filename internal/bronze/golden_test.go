@@ -1,0 +1,89 @@
+package bronze
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+	"time"
+)
+
+// goldenFingerprints pins the simulated makespan and an FNV-1a fingerprint
+// of the complete execution (every invocation's processor, index key and
+// Ready/Started/Finished instants, plus the sorted sink outputs) for every
+// Table 1 configuration, per input size, at seed 1+size.
+//
+// The values were captured from the pre-optimization enactor (the naive
+// full-sweep control loop and unbatched event engine), so this test proves
+// the hot-path overhaul — topology caching, dirty-set scheduling, event
+// pooling — changed wall-clock cost only: virtual time, invocation order
+// and data results are bit-identical. Regenerate with `go run
+// ./cmd/goldengen` only when an intentional semantic change is made, and
+// say so in the commit.
+var goldenFingerprints = []struct {
+	config   string
+	size     int
+	makespan time.Duration
+	hash     uint64
+}{
+	{"NOP", 12, 13644872693088, 0x32653792eea6ecd3},
+	{"NOP", 66, 68913753037937, 0xfacb2d2fc789f1b6},
+	{"NOP", 126, 132757495140149, 0x29c8c8532e9c2f8d},
+	{"JG", 12, 8383622609238, 0x9000c9f0f4a155ac},
+	{"JG", 66, 53862334232130, 0x3967a81844f25b22},
+	{"JG", 126, 105574230011868, 0xb90d6c003f15d6b6},
+	{"SP", 12, 7813212175864, 0xd3bd2d8e7d411dd4},
+	{"SP", 66, 31504062064244, 0xe0f02c8596cbc8d},
+	{"SP", 126, 64965392853933, 0x6fa5e8bc8d384606},
+	{"DP", 12, 3550255930121, 0xb43415446672afef},
+	{"DP", 66, 9804225718751, 0x6cb74e3f54ac2579},
+	{"DP", 126, 18220739043487, 0x92623a44536eeecb},
+	{"SP+DP", 12, 3435618317421, 0x25571a1dbbc92baa},
+	{"SP+DP", 66, 8509652628459, 0x1b1e076124f2403b},
+	{"SP+DP", 126, 15293575771495, 0xa466c818e5d02635},
+	{"SP+DP+JG", 12, 1717944952423, 0xae188c796fc2c0b},
+	{"SP+DP+JG", 66, 6380707173427, 0xb83fb1c7dbd0f242},
+	{"SP+DP+JG", 126, 11936244254302, 0x16e27e43587f4a74},
+}
+
+// TestGoldenDeterminism runs every Table 1 cell and compares against the
+// pre-refactor fingerprints: same seed, byte-identical trace and outputs.
+func TestGoldenDeterminism(t *testing.T) {
+	byName := make(map[string]Configuration)
+	for _, cfg := range Configurations() {
+		byName[cfg.Name] = cfg
+	}
+	for _, g := range goldenFingerprints {
+		if testing.Short() && g.size > 12 {
+			continue
+		}
+		t.Run(fmt.Sprintf("%s/%d", g.config, g.size), func(t *testing.T) {
+			cfg, ok := byName[g.config]
+			if !ok {
+				t.Fatalf("unknown configuration %q", g.config)
+			}
+			p := DefaultParams()
+			p.Seed = 1 + uint64(g.size)
+			res, _, err := Run(g.size, cfg.Opts, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Makespan != g.makespan {
+				t.Errorf("makespan = %d (%v), golden %d (%v)",
+					res.Makespan, res.Makespan, g.makespan, g.makespan)
+			}
+			h := fnv.New64a()
+			for _, inv := range res.Trace.Invocations {
+				fmt.Fprintf(h, "%s|%s|%d|%d|%d;", inv.Processor, inv.Key(),
+					inv.Ready, inv.Started, inv.Finished)
+			}
+			for _, sink := range []string{"accuracy_translation", "accuracy_rotation"} {
+				for _, v := range res.Outputs[sink] {
+					fmt.Fprintf(h, "%s;", v)
+				}
+			}
+			if got := h.Sum64(); got != g.hash {
+				t.Errorf("trace fingerprint = %#x, golden %#x", got, g.hash)
+			}
+		})
+	}
+}

@@ -16,14 +16,23 @@
 // asynchronous (Sec. 3.1) and completions arrive as events in virtual
 // time, so runs are deterministic per seed and a full-scale experiment
 // executes in milliseconds of wall time.
+//
+// The control loop is dirty-set driven (see DESIGN.md): a completion
+// re-evaluates only the gates and queues of the processors whose state it
+// could have changed — the finishing processor itself, the consumers it
+// delivered to, and (once it drains) its successors and constraint
+// dependents — instead of sweeping the whole graph after every event. All
+// graph queries go through a workflow.Topology built once at construction.
 package core
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
+	"repro/internal/arena"
 	"repro/internal/iterstrat"
 	"repro/internal/provenance"
 	"repro/internal/services"
@@ -90,32 +99,116 @@ var ErrStalled = errors.New("core: workflow execution stalled")
 type Enactor struct {
 	eng  *sim.Engine
 	wf   *workflow.Workflow
+	topo *workflow.Topology
 	opts Options
 
 	tracker *provenance.Tracker
 	procs   map[string]*procState
-	order   []string
+	states  []*procState // insertion order; procState.index indexes this
 	trace   *Trace
 
-	expected map[string]int // nil when not computable (cyclic)
-	active   int            // queued tuples + in-flight invocations
+	capLimit int // admission cap per processor, from opts
+	active   int // queued tuples + in-flight invocations
 	done     bool
 	failure  error
 	finish   sim.Time
+
+	// dirty holds the indices of processors whose gate or queue must be
+	// re-evaluated at the next flush; procState.dirty guards duplicates,
+	// flushing guards reentrancy (a service completing synchronously would
+	// otherwise re-enter flushDirty from inside pumpProc).
+	dirty    []int
+	flushing bool
+	syncs    []*procState // synchronization processors, insertion order
+
+	invs     arena.Chunked[Invocation]       // trace entries
+	items    arena.Chunked[*provenance.Item] // invocation input sets
+	freeMaps []map[string]string             // recycled request-input maps
 }
 
 type readyTuple struct {
 	tuple iterstrat.Tuple
-	ready sim.Time
+	// single, when non-nil, is the whole input set: the tuple came through
+	// the single-port fast path and carries no Items map.
+	single *provenance.Item
+	ready  sim.Time
+}
+
+// tupleQueue is a FIFO of ready tuples backed by a reusable slice: pops
+// advance a head index instead of re-slicing, and the buffer is compacted
+// once the dead prefix dominates, so steady-state queue churn allocates
+// nothing.
+type tupleQueue struct {
+	buf  []readyTuple
+	head int
+}
+
+func (q *tupleQueue) len() int { return len(q.buf) - q.head }
+
+func (q *tupleQueue) push(rt readyTuple) { q.buf = append(q.buf, rt) }
+
+// pop removes and returns the front tuple. Popped slots are not zeroed:
+// everything a tuple references (items, index vectors) stays reachable
+// through the provenance tracker and trace for the rest of the run anyway,
+// and the slot is overwritten on reuse.
+func (q *tupleQueue) pop() readyTuple {
+	rt := q.buf[q.head]
+	q.head++
+	q.maybeReset()
+	return rt
+}
+
+// window returns the next n tuples without popping them; the view is
+// invalidated by the next queue operation.
+func (q *tupleQueue) window(n int) []readyTuple { return q.buf[q.head : q.head+n] }
+
+// discard pops the next n tuples (previously read through window).
+func (q *tupleQueue) discard(n int) {
+	q.head += n
+	q.maybeReset()
+}
+
+func (q *tupleQueue) maybeReset() {
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	} else if q.head > 64 && q.head > len(q.buf)/2 {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+}
+
+// route is one precomputed delivery edge: where items emitted on an output
+// port go.
+type route struct {
+	dst    *procState
+	toPort string
 }
 
 type procState struct {
-	p        *workflow.Processor
-	strat    iterstrat.Strategy // private clone; nil for sources, sinks, sync
-	queue    []readyTuple
+	p     *workflow.Processor
+	index int                // position in Enactor.states (insertion order)
+	strat iterstrat.Strategy // private clone; nil for sources, sinks, sync
+
+	queue    tupleQueue
 	inFlight int
 	finished int
+	expected int  // static invocation count; math.MaxInt when unknown
 	open     bool // admission allowed (barrier/constraint gate)
+	dirty    bool // queued in Enactor.dirty
+
+	// Precomputed topology views (built once in New):
+	routes            map[string][]route // out port → consumers, link order
+	ports             []string           // input ports, sorted (request order)
+	constraintBefores []*procState       // Before of each constraint gating this proc
+	allPreds          []*procState       // distinct data+constraint predecessors
+	downstream        []*procState       // distinct successors + constraint dependents
+	syncAncestors     []*procState       // synchronization processors among ancestors
+	batchCap          int                // data-grouping batch size (1 = no batching)
+	wrapper           *services.Wrapper  // non-nil for wrapper-backed services
+	fastPort          string             // single-port fast path: the one input port
+	fastSingle        bool               // strategy is a bare leaf; bypass Offer
 
 	syncFired   bool
 	syncBuf     map[string][]*provenance.Item // sync procs: per-port arrivals
@@ -142,40 +235,83 @@ func New(eng *sim.Engine, wf *workflow.Workflow, opts Options) (*Enactor, error)
 		return nil, fmt.Errorf("core: workflow %s has loops, which require service parallelism (streaming)", wf.Name)
 	}
 	e := &Enactor{
-		eng:     eng,
-		wf:      wf,
-		opts:    opts,
-		tracker: provenance.NewTracker(),
-		procs:   make(map[string]*procState),
-		trace:   &Trace{},
+		eng:      eng,
+		wf:       wf,
+		topo:     wf.Topology(),
+		opts:     opts,
+		tracker:  provenance.NewTracker(),
+		procs:    make(map[string]*procState),
+		trace:    &Trace{},
+		capLimit: admissionCap(opts),
 	}
-	for _, p := range wf.Processors() {
-		st := &procState{p: p, open: true}
+	for i, p := range wf.Processors() {
+		st := &procState{p: p, index: i, open: true, expected: math.MaxInt, batchCap: 1}
 		if p.Kind == workflow.KindService && !p.Synchronization {
 			st.strat = iterstrat.Clone(wf.EffectiveStrategy(p))
+			// A bare single-port leaf is a stateless pass-through: deliver
+			// can turn the item into a ready tuple without the Offer
+			// machinery (and without a per-tuple map).
+			if port, ok := iterstrat.SinglePort(st.strat); ok {
+				st.fastPort, st.fastSingle = port, true
+			}
 		}
 		if p.Synchronization {
 			st.syncBuf = make(map[string][]*provenance.Item)
+			e.syncs = append(e.syncs, st)
+		}
+		st.ports = append([]string(nil), p.InPorts...)
+		sort.Strings(st.ports)
+		if w, ok := p.Service.(*services.Wrapper); ok {
+			st.wrapper = w
+			if opts.DataGroupSize > 1 && opts.DataParallelism {
+				st.batchCap = opts.DataGroupSize
+			}
 		}
 		e.procs[p.Name] = st
-		e.order = append(e.order, p.Name)
+		e.states = append(e.states, st)
+	}
+	// Second pass: resolve the topology views to direct state pointers so
+	// the hot path never touches a map or rescans links.
+	for _, st := range e.states {
+		name := st.p.Name
+		for _, l := range e.topo.Outgoing(name) {
+			if st.routes == nil {
+				st.routes = make(map[string][]route)
+			}
+			st.routes[l.FromPort] = append(st.routes[l.FromPort], route{e.procs[l.ToProc], l.ToPort})
+		}
+		for _, c := range e.topo.ConstraintsAfter(name) {
+			st.constraintBefores = append(st.constraintBefores, e.procs[c.Before])
+		}
+		for _, pn := range e.topo.Predecessors(name) {
+			st.allPreds = append(st.allPreds, e.procs[pn])
+		}
+		for _, sn := range e.topo.Successors(name) {
+			st.downstream = append(st.downstream, e.procs[sn])
+		}
+		if st.p.Synchronization {
+			for anc := range e.topo.Ancestors(name) {
+				if a := e.procs[anc]; a.p.Synchronization {
+					st.syncAncestors = append(st.syncAncestors, a)
+				}
+			}
+		}
 	}
 	return e, nil
 }
 
-// Workflow returns the workflow actually executed (after grouping).
-func (e *Enactor) Workflow() *workflow.Workflow { return e.wf }
-
-// cap returns the admission limit of a processor.
-func (e *Enactor) cap() int {
-	if !e.opts.DataParallelism {
+func admissionCap(opts Options) int {
+	if !opts.DataParallelism {
 		return 1
 	}
-	if e.opts.MaxConcurrent > 0 {
-		return e.opts.MaxConcurrent
+	if opts.MaxConcurrent > 0 {
+		return opts.MaxConcurrent
 	}
-	return int(^uint(0) >> 1)
+	return math.MaxInt
 }
+
+// Workflow returns the workflow actually executed (after grouping).
+func (e *Enactor) Workflow() *workflow.Workflow { return e.wf }
 
 // Run executes the workflow on the inputs (source name → item values) and
 // blocks, in wall time, until the virtual execution completes. It steps
@@ -187,23 +323,36 @@ func (e *Enactor) Run(inputs map[string][]string) (*Result, error) {
 		}
 	}
 	if counts, err := e.wf.ExpectedCounts(countsOf(inputs)); err == nil {
-		e.expected = counts
+		total := 0
+		for _, st := range e.states {
+			st.expected = counts[st.p.Name]
+			if st.p.Kind == workflow.KindService {
+				total += st.expected
+			}
+		}
+		// The trace will hold one entry per invocation; reserving it up
+		// front avoids repeatedly regrowing (and rescanning) a large
+		// pointer slice.
+		e.trace.Invocations = make([]*Invocation, 0, total)
 	} else if !e.opts.ServiceParallelism {
 		return nil, fmt.Errorf("core: barrier execution needs static invocation counts: %w", err)
 	}
-	e.applyGates()
 
 	// Data sources deliver their items sequentially at t=0 (Sec. 2.2).
 	for _, src := range e.wf.Sources() {
 		st := e.procs[src.Name]
 		for i, v := range inputs[src.Name] {
 			item := e.tracker.Source(src.Name, i, v)
-			e.deliver(src.Name, workflow.SourcePort, item)
+			e.deliver(st, workflow.SourcePort, item)
 		}
 		st.finished = len(inputs[src.Name])
 	}
-	e.applyGates()
-	e.pump()
+	// Every gate and queue gets one full evaluation to start; after this,
+	// only dirty processors are revisited.
+	for _, st := range e.states {
+		e.markDirty(st)
+	}
+	e.flushDirty()
 	e.checkQuiescence()
 
 	for !e.done && e.failure == nil && e.eng.Step() {
@@ -225,146 +374,173 @@ func countsOf(inputs map[string][]string) map[string]int {
 	return out
 }
 
-// deliver routes one item emitted on proc:port to every consumer.
-func (e *Enactor) deliver(proc, port string, item *provenance.Item) {
-	for _, l := range e.wf.Outgoing(proc) {
-		if l.FromPort != port {
-			continue
-		}
-		dst := e.procs[l.ToProc]
+// deliver routes one item emitted on st's output port to every consumer,
+// via the precomputed routing table.
+func (e *Enactor) deliver(st *procState, port string, item *provenance.Item) {
+	for _, r := range st.routes[port] {
+		dst := r.dst
 		switch {
 		case dst.p.Kind == workflow.KindSink:
 			dst.collected = append(dst.collected, item)
 		case dst.p.Synchronization:
-			dst.syncBuf[l.ToPort] = append(dst.syncBuf[l.ToPort], item)
+			dst.syncBuf[r.toPort] = append(dst.syncBuf[r.toPort], item)
+		case dst.fastSingle:
+			// Exactly what a leaf Offer would emit: one tuple keyed by the
+			// item's own index.
+			dst.queue.push(readyTuple{
+				tuple:  iterstrat.Tuple{Index: item.Index},
+				single: item,
+				ready:  e.eng.Now(),
+			})
+			e.active++
+			e.markDirty(dst)
 		default:
-			for _, tup := range dst.strat.Offer(l.ToPort, item) {
-				dst.queue = append(dst.queue, readyTuple{tup, e.eng.Now()})
+			tuples := dst.strat.Offer(r.toPort, item)
+			if len(tuples) == 0 {
+				continue
+			}
+			now := e.eng.Now()
+			for _, tup := range tuples {
+				dst.queue.push(readyTuple{tuple: tup, ready: now})
 				e.active++
 			}
+			e.markDirty(dst)
 		}
 	}
 }
 
-// applyGates recomputes admission gates. With service parallelism the gate
-// is only closed by coordination constraints; without it, a processor also
-// waits for all its direct data predecessors to drain (batch semantics).
-func (e *Enactor) applyGates() {
-	for _, name := range e.order {
-		st := e.procs[name]
-		if st.p.Kind != workflow.KindService {
-			continue
-		}
-		open := true
-		for _, c := range e.wf.Constraints {
-			if c.After == name && !e.drained(c.Before) {
-				open = false
-			}
-		}
-		if !e.opts.ServiceParallelism {
-			for _, pred := range e.wf.Predecessors(name) {
-				if !e.drained(pred) {
-					open = false
-				}
-			}
-		}
-		st.open = open
+// markDirty queues a processor for gate/queue re-evaluation at the next
+// flushDirty.
+func (e *Enactor) markDirty(st *procState) {
+	if !st.dirty {
+		st.dirty = true
+		e.dirty = append(e.dirty, st.index)
 	}
+}
+
+// flushDirty re-evaluates the admission gate and pumps the queue of every
+// dirty processor, in workflow insertion order — the same order the
+// previous full-sweep implementation used, so admission sequences (and
+// with them event ordering and traces) are unchanged. Processors that are
+// not dirty cannot have admissible work: their queues, gates, and
+// capacity are untouched since their last evaluation.
+func (e *Enactor) flushDirty() {
+	if e.flushing || len(e.dirty) == 0 {
+		return
+	}
+	e.flushing = true
+	// Marks appended mid-flush (by a service whose done callback runs
+	// synchronously inside pumpProc) extend the loop: each chunk is sorted
+	// and processed, then any newly appended chunk follows.
+	for pos := 0; pos < len(e.dirty); {
+		sort.Ints(e.dirty[pos:])
+		end := len(e.dirty)
+		for ; pos < end; pos++ {
+			st := e.states[e.dirty[pos]]
+			st.dirty = false
+			if st.p.Kind == workflow.KindService {
+				st.open = e.gateOpen(st)
+			}
+			e.pumpProc(st)
+		}
+	}
+	e.dirty = e.dirty[:0]
+	e.flushing = false
+}
+
+// gateOpen recomputes one admission gate. With service parallelism the
+// gate is only closed by coordination constraints; without it, a processor
+// also waits for all its direct predecessors to drain (batch semantics).
+func (e *Enactor) gateOpen(st *procState) bool {
+	for _, b := range st.constraintBefores {
+		if !e.drained(b) {
+			return false
+		}
+	}
+	if !e.opts.ServiceParallelism {
+		for _, pred := range st.allPreds {
+			if !e.drained(pred) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // drained reports whether a processor has completed its whole input set.
 // It needs static counts; sources are drained once delivered.
-func (e *Enactor) drained(name string) bool {
-	st := e.procs[name]
+func (e *Enactor) drained(st *procState) bool {
 	if st.p.Kind == workflow.KindSource {
-		return st.finished > 0 || e.expectedOf(name) == 0
+		return st.finished > 0 || st.expected == 0
 	}
-	if st.inFlight > 0 || len(st.queue) > 0 {
+	if st.inFlight > 0 || st.queue.len() > 0 {
 		return false
 	}
-	return st.finished >= e.expectedOf(name)
+	return st.finished >= st.expected
 }
 
-func (e *Enactor) expectedOf(name string) int {
-	if e.expected == nil {
-		return int(^uint(0) >> 1) // unknown: never drained statically
-	}
-	return e.expected[name]
-}
-
-// pump admits queued tuples wherever gates and caps allow.
-func (e *Enactor) pump() {
-	for _, name := range e.order {
-		st := e.procs[name]
-		for st.open && len(st.queue) > 0 && st.inFlight < e.cap() {
-			if batch := e.batchSize(st); batch > 1 {
-				if len(st.queue) < batch && e.opts.DataGroupWindow > 0 && !st.flushForced {
-					// Under-filled batch: hold the queue briefly so more
-					// items can join, then submit whatever accumulated.
-					if st.flush == nil {
-						st.flush = e.eng.Schedule(e.opts.DataGroupWindow, func() {
-							st.flush = nil
-							st.flushForced = true
-							e.pump()
-							st.flushForced = false
-							e.checkQuiescence()
-						})
-					}
-					break
+// pumpProc admits the processor's queued tuples wherever its gate and cap
+// allow.
+func (e *Enactor) pumpProc(st *procState) {
+	for st.open && st.queue.len() > 0 && st.inFlight < e.capLimit {
+		if batch := st.batchCap; batch > 1 {
+			if st.queue.len() < batch && e.opts.DataGroupWindow > 0 && !st.flushForced {
+				// Under-filled batch: hold the queue briefly so more
+				// items can join, then submit whatever accumulated.
+				if st.flush == nil {
+					st.flush = e.eng.Schedule(e.opts.DataGroupWindow, func() {
+						st.flush = nil
+						st.flushForced = true
+						e.markDirty(st)
+						e.flushDirty()
+						st.flushForced = false
+						e.checkQuiescence()
+					})
 				}
-				n := batch
-				if n > len(st.queue) {
-					n = len(st.queue)
-				}
-				rts := append([]readyTuple(nil), st.queue[:n]...)
-				st.queue = st.queue[n:]
-				if st.flush != nil {
-					st.flush.Cancel()
-					st.flush = nil
-				}
-				e.invokeBatch(st, rts)
-				continue
+				break
 			}
-			rt := st.queue[0]
-			st.queue = st.queue[1:]
-			e.invoke(st, rt)
+			n := batch
+			if n > st.queue.len() {
+				n = st.queue.len()
+			}
+			if st.flush != nil {
+				st.flush.Cancel()
+				st.flush = nil
+			}
+			e.invokeBatch(st, n)
+			continue
 		}
+		rt := st.queue.pop()
+		e.invoke(st, rt)
 	}
 }
 
-// batchSize returns how many ready tuples of this processor may share one
-// grid job: data grouping applies to wrapper-backed processors under data
-// parallelism (batching a serialized service would only reorder work).
-func (e *Enactor) batchSize(st *procState) int {
-	if e.opts.DataGroupSize <= 1 || !e.opts.DataParallelism {
-		return 1
-	}
-	if _, ok := st.p.Service.(*services.Wrapper); !ok {
-		return 1
-	}
-	return e.opts.DataGroupSize
-}
+// newInvocation allocates a trace entry from the chunked arena.
+func (e *Enactor) newInvocation() *Invocation { return e.invs.New() }
 
-// invokeBatch starts one grid job covering several invocations.
-func (e *Enactor) invokeBatch(st *procState, rts []readyTuple) {
-	st.inFlight += len(rts)
-	reqs := make([]services.Request, len(rts))
-	invs := make([]*Invocation, len(rts))
-	inputSets := make([][]*provenance.Item, len(rts))
+// invokeBatch starts one grid job covering the next n queued invocations.
+func (e *Enactor) invokeBatch(st *procState, n int) {
+	rts := st.queue.window(n)
+	st.inFlight += n
+	reqs := make([]services.Request, n)
+	invs := make([]*Invocation, n)
+	inputSets := make([][]*provenance.Item, n)
+	now := e.eng.Now()
 	for i, rt := range rts {
-		inv := &Invocation{
-			Processor: st.p.Name,
-			Index:     rt.tuple.Index,
-			Ready:     rt.ready,
-			Started:   e.eng.Now(),
-		}
+		inv := e.newInvocation()
+		inv.Processor = st.p.Name
+		inv.Index = rt.tuple.Index
+		inv.Ready = rt.ready
+		inv.Started = now
 		e.trace.Invocations = append(e.trace.Invocations, inv)
 		invs[i] = inv
 		reqs[i], inputSets[i] = e.buildRequest(st, rt)
 	}
-	st.p.Service.(*services.Wrapper).InvokeBatch(reqs, func(resps []services.Response) {
+	st.queue.discard(n)
+	st.wrapper.InvokeBatch(reqs, func(resps []services.Response) {
 		for i, resp := range resps {
 			e.complete(st, invs[i], inputSets[i], resp)
+			e.releaseInputs(reqs[i].Inputs)
 		}
 	})
 }
@@ -372,33 +548,55 @@ func (e *Enactor) invokeBatch(st *procState, rts []readyTuple) {
 // invoke starts one service invocation for a completed tuple.
 func (e *Enactor) invoke(st *procState, rt readyTuple) {
 	st.inFlight++
-	inv := &Invocation{
-		Processor: st.p.Name,
-		Index:     rt.tuple.Index,
-		Ready:     rt.ready,
-		Started:   e.eng.Now(),
-	}
+	inv := e.newInvocation()
+	inv.Processor = st.p.Name
+	inv.Index = rt.tuple.Index
+	inv.Ready = rt.ready
+	inv.Started = e.eng.Now()
 	e.trace.Invocations = append(e.trace.Invocations, inv)
 	req, inputItems := e.buildRequest(st, rt)
 	st.p.Service.Invoke(req, func(resp services.Response) {
 		e.complete(st, inv, inputItems, resp)
+		// Services must not retain req.Inputs past their completion
+		// callback (they consume the bindings at submit/run time), so the
+		// map can be recycled for a later invocation.
+		e.releaseInputs(req.Inputs)
 	})
 }
 
-// buildRequest assembles the service request for one tuple: port values in
-// deterministic order plus the processor's constant bindings.
-func (e *Enactor) buildRequest(st *procState, rt readyTuple) (services.Request, []*provenance.Item) {
-	req := services.Request{Index: rt.tuple.Index, Inputs: make(map[string]string)}
-	ports := make([]string, 0, len(rt.tuple.Items))
-	for port := range rt.tuple.Items {
-		ports = append(ports, port)
+// newInputs pops a recycled request-input map or allocates one.
+func (e *Enactor) newInputs(size int) map[string]string {
+	if n := len(e.freeMaps); n > 0 {
+		m := e.freeMaps[n-1]
+		e.freeMaps[n-1] = nil
+		e.freeMaps = e.freeMaps[:n-1]
+		return m
 	}
-	sort.Strings(ports)
-	inputItems := make([]*provenance.Item, 0, len(ports))
-	for _, port := range ports {
-		item := rt.tuple.Items[port]
-		req.Inputs[port] = item.Value
-		inputItems = append(inputItems, item)
+	return make(map[string]string, size)
+}
+
+func (e *Enactor) releaseInputs(m map[string]string) {
+	clear(m)
+	e.freeMaps = append(e.freeMaps, m)
+}
+
+// buildRequest assembles the service request for one tuple: port values in
+// the precomputed deterministic port order plus the processor's constant
+// bindings.
+func (e *Enactor) buildRequest(st *procState, rt readyTuple) (services.Request, []*provenance.Item) {
+	req := services.Request{Index: rt.tuple.Index, Inputs: e.newInputs(len(st.ports) + len(st.p.Constants))}
+	var inputItems []*provenance.Item
+	if rt.single != nil {
+		req.Inputs[st.fastPort] = rt.single.Value
+		inputItems = e.items.Slice(1)
+		inputItems[0] = rt.single
+	} else {
+		inputItems = e.items.Slice(len(st.ports))
+		for i, port := range st.ports {
+			item := rt.tuple.Items[port]
+			req.Inputs[port] = item.Value
+			inputItems[i] = item
+		}
 	}
 	for k, v := range st.p.Constants {
 		req.Inputs[k] = v
@@ -406,8 +604,8 @@ func (e *Enactor) buildRequest(st *procState, rt readyTuple) (services.Request, 
 	return req, inputItems
 }
 
-// complete finishes one invocation: trace, output delivery, gate updates,
-// and quiescence detection.
+// complete finishes one invocation: trace, output delivery, dirty-set
+// propagation, and quiescence detection.
 func (e *Enactor) complete(st *procState, inv *Invocation, inputs []*provenance.Item, resp services.Response) {
 	st.inFlight--
 	st.finished++
@@ -425,10 +623,17 @@ func (e *Enactor) complete(st *procState, inv *Invocation, inputs []*provenance.
 			continue // conditional output (Fig. 2 loops)
 		}
 		item := e.tracker.Derive(st.p.Name, port, v, inv.Index, inputs...)
-		e.deliver(st.p.Name, port, item)
+		e.deliver(st, port, item)
 	}
-	e.applyGates()
-	e.pump()
+	// The finishing processor freed a capacity slot; if it just drained,
+	// the gates of its successors and constraint dependents may now open.
+	e.markDirty(st)
+	if e.drained(st) {
+		for _, d := range st.downstream {
+			e.markDirty(d)
+		}
+	}
+	e.flushDirty()
 	e.checkQuiescence()
 }
 
@@ -441,16 +646,15 @@ func (e *Enactor) checkQuiescence() {
 		return
 	}
 	fired := false
-	for _, name := range e.order {
-		st := e.procs[name]
-		if !st.p.Synchronization || st.syncFired {
+	for _, st := range e.syncs {
+		if st.syncFired {
 			continue
 		}
 		// A sync processor whose ancestors include a sync processor that
 		// has not fired *and completed* waits for the inner barrier first.
 		blocked := false
-		for anc := range e.wf.Ancestors(name) {
-			if a := e.procs[anc]; a.p.Synchronization && (!a.syncFired || a.inFlight > 0) {
+		for _, a := range st.syncAncestors {
+			if !a.syncFired || a.inFlight > 0 {
 				blocked = true
 				break
 			}
@@ -462,7 +666,6 @@ func (e *Enactor) checkQuiescence() {
 		fired = true
 	}
 	if fired {
-		e.pump()
 		return
 	}
 	e.done = true
@@ -475,13 +678,12 @@ func (e *Enactor) fireSync(st *procState) {
 	st.syncFired = true
 	st.inFlight++
 	e.active++
-	inv := &Invocation{
-		Processor: st.p.Name,
-		Index:     []int{0},
-		Sync:      true,
-		Ready:     e.eng.Now(),
-		Started:   e.eng.Now(),
-	}
+	inv := e.newInvocation()
+	inv.Processor = st.p.Name
+	inv.Index = []int{0}
+	inv.Sync = true
+	inv.Ready = e.eng.Now()
+	inv.Started = e.eng.Now()
 	e.trace.Invocations = append(e.trace.Invocations, inv)
 
 	req := services.Request{
@@ -512,11 +714,10 @@ func (e *Enactor) fireSync(st *procState) {
 
 // diagnose describes why execution stalled.
 func (e *Enactor) diagnose() string {
-	for _, name := range e.order {
-		st := e.procs[name]
-		if len(st.queue) > 0 || st.inFlight > 0 {
+	for _, st := range e.states {
+		if st.queue.len() > 0 || st.inFlight > 0 {
 			return fmt.Sprintf("processor %s has %d queued tuples and %d in-flight invocations (gate open: %v)",
-				name, len(st.queue), st.inFlight, st.open)
+				st.p.Name, st.queue.len(), st.inFlight, st.open)
 		}
 	}
 	return "no pending work but completion was not detected"
@@ -533,20 +734,37 @@ func (e *Enactor) result() *Result {
 	}
 	for _, sink := range e.wf.Sinks() {
 		st := e.procs[sink.Name]
-		items := append([]*provenance.Item(nil), st.collected...)
-		sort.Slice(items, func(i, j int) bool {
-			ki, kj := items[i].Key(), items[j].Key()
-			if ki != kj {
-				return ki < kj
-			}
-			return items[i].Value < items[j].Value
-		})
-		vals := make([]string, len(items))
-		for i, it := range items {
-			vals[i] = it.Value
+		// Decorate-sort-undecorate: index keys are rendered once per item,
+		// not once per comparison, and the sort runs on a concrete type.
+		ks := make(keyedItems, len(st.collected))
+		for i, it := range st.collected {
+			ks[i] = keyedItem{it.Key(), it}
+		}
+		sort.Sort(ks)
+		items := make([]*provenance.Item, len(ks))
+		vals := make([]string, len(ks))
+		for i, k := range ks {
+			items[i] = k.item
+			vals[i] = k.item.Value
 		}
 		r.Outputs[sink.Name] = vals
 		r.Items[sink.Name] = items
 	}
 	return r
+}
+
+type keyedItem struct {
+	key  string
+	item *provenance.Item
+}
+
+type keyedItems []keyedItem
+
+func (s keyedItems) Len() int      { return len(s) }
+func (s keyedItems) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s keyedItems) Less(i, j int) bool {
+	if s[i].key != s[j].key {
+		return s[i].key < s[j].key
+	}
+	return s[i].item.Value < s[j].item.Value
 }

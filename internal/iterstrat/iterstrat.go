@@ -72,6 +72,18 @@ func Cross(children ...Strategy) Strategy {
 	return &cross{children: children, seen: make([][]Tuple, len(children))}
 }
 
+// SinglePort reports whether s is a bare single-port leaf (the default
+// strategy of one-input services) and returns its port name. Leaves are
+// stateless pass-throughs — an item on the port becomes one tuple keyed by
+// the item's own index — which lets an enactor bypass the general Offer
+// machinery on this, the most common, shape.
+func SinglePort(s Strategy) (string, bool) {
+	if l, ok := s.(*leaf); ok {
+		return l.name, true
+	}
+	return "", false
+}
+
 // Validate checks that every port name under s is unique, returning an
 // error naming the first duplicate.
 func Validate(s Strategy) error {

@@ -14,6 +14,8 @@ package provenance
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/arena"
 )
 
 // Item is a data token: a value plus its identity in the iteration space
@@ -46,9 +48,15 @@ type Node struct {
 }
 
 // Tracker mints items with execution-unique IDs. The zero value is ready
-// to use.
+// to use. Items and history nodes live until the end of the execution, so
+// the tracker hands them out from chunked arenas rather than allocating
+// each one individually — one execution mints one item per data token, and
+// the arena keeps that off the enactor's per-event allocation budget.
 type Tracker struct {
-	nextID int
+	nextID   int
+	items    arena.Chunked[Item]
+	nodes    arena.Chunked[Node]
+	nodePtrs arena.Chunked[*Node]
 }
 
 // NewTracker returns a fresh tracker.
@@ -59,35 +67,40 @@ func (t *Tracker) Minted() int { return t.nextID }
 
 // Source mints an item produced by a data source: index vector [idx].
 func (t *Tracker) Source(source string, idx int, value string) *Item {
-	return t.mint(value, []int{idx}, &Node{
-		Processor: source,
-		Index:     []int{idx},
-	})
+	index := []int{idx}
+	n := t.nodes.New()
+	n.Processor = source
+	n.Index = index
+	return t.mint(value, index, n)
 }
 
 // Constant mints an index-free item (a workflow constant). Constants match
 // any index in a dot product.
 func (t *Tracker) Constant(value string) *Item {
-	return t.mint(value, nil, &Node{Index: nil})
+	return t.mint(value, nil, t.nodes.New())
 }
 
 // Derive mints an item produced by processor on port with the given index
 // vector, consuming the given inputs.
 func (t *Tracker) Derive(processor, port, value string, index []int, inputs ...*Item) *Item {
-	nodes := make([]*Node, len(inputs))
+	nodes := t.nodePtrs.Slice(len(inputs))
 	for i, in := range inputs {
 		nodes[i] = in.History
 	}
-	return t.mint(value, index, &Node{
-		Processor: processor,
-		Port:      port,
-		Index:     index,
-		Inputs:    nodes,
-	})
+	n := t.nodes.New()
+	n.Processor = processor
+	n.Port = port
+	n.Index = index
+	n.Inputs = nodes
+	return t.mint(value, index, n)
 }
 
 func (t *Tracker) mint(value string, index []int, h *Node) *Item {
-	it := &Item{ID: t.nextID, Value: value, Index: index, History: h}
+	it := t.items.New()
+	it.ID = t.nextID
+	it.Value = value
+	it.Index = index
+	it.History = h
 	t.nextID++
 	return it
 }

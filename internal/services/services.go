@@ -35,7 +35,10 @@ type Request struct {
 	// Index is the iteration-space index of the invocation (for runtime
 	// models and traces).
 	Index []int
-	// Inputs binds one value per input port.
+	// Inputs binds one value per input port. The map is owned by the
+	// invoker, which may recycle it once the completion callback has
+	// returned: services must consume the bindings during invocation and
+	// must not retain the map afterwards.
 	Inputs map[string]string
 	// Lists binds the full value list per input port; non-nil only for
 	// synchronization invocations.

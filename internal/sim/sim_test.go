@@ -338,6 +338,195 @@ func TestQuickResourceMakespan(t *testing.T) {
 	}
 }
 
+// TestPendingLiveCounter walks the counter through schedule, cancel and
+// fire transitions: Pending must track live events exactly (it is O(1) now,
+// maintained rather than recounted).
+func TestPendingLiveCounter(t *testing.T) {
+	e := NewEngine()
+	evs := make([]*Event, 6)
+	for i := range evs {
+		evs[i] = e.Schedule(Time(i+1)*time.Second, func() {})
+	}
+	if e.Pending() != 6 {
+		t.Fatalf("Pending after 6 schedules = %d", e.Pending())
+	}
+	evs[1].Cancel()
+	evs[4].Cancel()
+	if e.Pending() != 4 {
+		t.Fatalf("Pending after 2 cancels = %d", e.Pending())
+	}
+	evs[1].Cancel() // double cancel must not double-decrement
+	if e.Pending() != 4 {
+		t.Fatalf("Pending after double cancel = %d", e.Pending())
+	}
+	e.RunUntil(3 * time.Second) // fires events at 1s and 3s (2s cancelled)
+	if e.Pending() != 2 {
+		t.Fatalf("Pending after RunUntil(3s) = %d", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after Run = %d", e.Pending())
+	}
+	if e.Fired() != 4 {
+		t.Fatalf("Fired = %d, want 4", e.Fired())
+	}
+}
+
+// TestRunUntilCancelledHead checks the peek loop: cancelled events at the
+// front of the queue must be collected without firing and without
+// advancing the clock past t.
+func TestRunUntilCancelledHead(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	first := e.Schedule(1*time.Second, func() { fired = append(fired, 1) })
+	e.Schedule(2*time.Second, func() { fired = append(fired, 2) })
+	late := e.Schedule(4*time.Second, func() { fired = append(fired, 4) })
+	first.Cancel()
+	late.Cancel()
+	e.RunUntil(3 * time.Second)
+	if len(fired) != 1 || fired[0] != 2 {
+		t.Fatalf("fired = %v, want just the 2s event", fired)
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("clock = %v after RunUntil(3s)", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after all live events fired", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 1 {
+		t.Fatalf("cancelled 4s event fired: %v", fired)
+	}
+}
+
+// TestCancelWithinSameInstantBatch cancels an event from an earlier event
+// of the same virtual instant — the cancelled one is already out of the
+// priority queue, sitting in the executing batch, and must still not fire.
+func TestCancelWithinSameInstantBatch(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	var second *Event
+	e.Schedule(time.Second, func() {
+		order = append(order, 1)
+		second.Cancel()
+	})
+	second = e.Schedule(time.Second, func() { order = append(order, 2) })
+	e.Schedule(time.Second, func() { order = append(order, 3) })
+	e.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 3 {
+		t.Fatalf("order = %v, want [1 3]", order)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after run", e.Pending())
+	}
+}
+
+// TestSameInstantNestedOrdering checks that events scheduled *during* a
+// same-instant batch run after everything already scheduled for that
+// instant, preserving global schedule order across the batch boundary.
+func TestSameInstantNestedOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(time.Second, func() {
+		order = append(order, 1)
+		e.Schedule(0, func() { order = append(order, 3) })
+	})
+	e.Schedule(time.Second, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+}
+
+// TestEventPoolReuse checks the free-list contract: cancelling an event
+// after it fired is a no-op (and keeps the live counter intact), and
+// recycled events behave like fresh ones.
+func TestEventPoolReuse(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(time.Second, func() {})
+	e.Run()
+	ev.Cancel() // fired already: must be a no-op
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after post-fire Cancel", e.Pending())
+	}
+	fired := 0
+	for i := 0; i < 100; i++ { // drive the pool through many reuse cycles
+		e.Schedule(time.Second, func() { fired++ })
+		e.Schedule(time.Second, func() { fired++ }).Cancel()
+		e.Run()
+	}
+	if fired != 100 {
+		t.Fatalf("fired = %d, want 100", fired)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after reuse cycles", e.Pending())
+	}
+}
+
+// TestRunUntilThenAt exercises the batch/heap boundary: after RunUntil
+// stops mid-queue, scheduling at the stop instant and running must fire
+// the new event after the remaining older ones of that instant.
+func TestRunUntilThenAt(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(time.Second, func() { order = append(order, 1) })
+	e.Schedule(2*time.Second, func() { order = append(order, 2) })
+	e.RunUntil(time.Second)
+	ev := e.At(2*time.Second, func() { order = append(order, 3) })
+	if ev.At() != 2*time.Second {
+		t.Fatalf("At() = %v", ev.At())
+	}
+	e.Run()
+	if len(order) != 3 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+}
+
+// TestRunUntilThenEarlierSchedule pins a peek regression: stopping at t
+// must not commit a later bucket to execution — an event scheduled
+// afterwards at an earlier instant has to fire first, and the clock must
+// never run backwards.
+func TestRunUntilThenEarlierSchedule(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	var clocks []Time
+	e.Schedule(1*time.Second, func() { order = append(order, 1); clocks = append(clocks, e.Now()) })
+	e.Schedule(3*time.Second, func() { order = append(order, 3); clocks = append(clocks, e.Now()) })
+	e.RunUntil(1 * time.Second) // fires the 1s event; 3s stays pending
+	e.Schedule(1*time.Second, func() { order = append(order, 2); clocks = append(clocks, e.Now()) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+	for i := 1; i < len(clocks); i++ {
+		if clocks[i] < clocks[i-1] {
+			t.Fatalf("clock ran backwards: %v", clocks)
+		}
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("final clock = %v, want 3s", e.Now())
+	}
+}
+
+// TestRunUntilAllCancelledBucket checks peek retires a bucket whose every
+// event was cancelled without firing anything or disturbing later ones.
+func TestRunUntilAllCancelledBucket(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	a := e.Schedule(1*time.Second, func() {})
+	b := e.Schedule(1*time.Second, func() {})
+	e.Schedule(2*time.Second, func() { fired = true })
+	a.Cancel()
+	b.Cancel()
+	e.RunUntil(90 * time.Minute)
+	if !fired {
+		t.Fatal("2s event did not fire past an all-cancelled earlier bucket")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+}
+
 func BenchmarkScheduleRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e := NewEngine()

@@ -165,7 +165,7 @@ func (w *Workflow) TopoOrder() ([]string, error) {
 		}
 	}
 	if len(out) != len(w.procs) {
-		return nil, fmt.Errorf("workflow %s: graph has a cycle", w.Name)
+		return nil, errCycle(w)
 	}
 	return out, nil
 }
