@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench clean
+.PHONY: all build test vet bench campaign-bench clean
 
 all: vet build test
 
@@ -18,5 +18,11 @@ vet:
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' . | tee BENCH_1.json
 
+# Multi-tenant campaign benchmark (32 tenants on one shared grid); two
+# iterations so the in-benchmark determinism assertion actually compares
+# runs.
+campaign-bench:
+	$(GO) test -bench BenchmarkCampaignScale -benchmem -benchtime 2x -run '^$$' . | tee BENCH_2.json
+
 clean:
-	rm -f BENCH_1.json
+	rm -f BENCH_1.json BENCH_2.json

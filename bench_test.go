@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/bronze"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/diagram"
 	"repro/internal/grid"
@@ -342,6 +343,68 @@ func BenchmarkEnactorScale(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkCampaignScale measures the multi-tenant campaign layer at
+// scale: 32 tenants, each enacting a 16-service wrapper chain over nD=100
+// items, all contending for one shared DefaultConfig grid through the
+// fair-share gate, with a heterogeneous optimization mix (SP+DP, SP+DP+JG,
+// DP, batched SP+DP) and staggered arrival waves. Per-tenant makespans are
+// captured on the first iteration and asserted identical on every
+// subsequent one, so the benchmark doubles as a campaign determinism
+// check; sim_s reports the campaign span and jobs the global submission
+// count.
+func BenchmarkCampaignScale(b *testing.B) {
+	const nTenants, nServices, nD = 32, 16, 100
+	mixes := []core.Options{
+		{ServiceParallelism: true, DataParallelism: true},
+		{ServiceParallelism: true, DataParallelism: true, JobGrouping: true},
+		{DataParallelism: true},
+		{ServiceParallelism: true, DataParallelism: true,
+			DataGroupSize: 8, DataGroupWindow: 2 * time.Minute},
+	}
+	build := func() campaign.Config {
+		cfg := campaign.Config{Grid: grid.DefaultConfig()}
+		for i := 0; i < nTenants; i++ {
+			cfg.Tenants = append(cfg.Tenants, campaign.TenantSpec{
+				Name:    fmt.Sprintf("t%02d", i),
+				Arrival: time.Duration(i) * time.Minute,
+				Opts:    mixes[i%len(mixes)],
+				Build:   campaign.SyntheticChain(nServices, nD, 2*time.Minute, 5),
+			})
+		}
+		return cfg
+	}
+	var first []time.Duration
+	var span time.Duration
+	var jobs int
+	for i := 0; i < b.N; i++ {
+		rep, err := campaign.Run(build())
+		if err != nil {
+			b.Fatal(err)
+		}
+		makespans := make([]time.Duration, len(rep.Tenants))
+		for j, tr := range rep.Tenants {
+			if tr.Err != nil {
+				b.Fatalf("tenant %s: %v", tr.Name, tr.Err)
+			}
+			makespans[j] = tr.Makespan
+		}
+		if first == nil {
+			first = makespans
+		} else {
+			for j := range makespans {
+				if makespans[j] != first[j] {
+					b.Fatalf("tenant %d makespan not deterministic: %v vs %v",
+						j, makespans[j], first[j])
+				}
+			}
+		}
+		span = rep.Makespan
+		jobs = rep.Global.Jobs + rep.Global.Failed
+	}
+	b.ReportMetric(span.Seconds(), "sim_s")
+	b.ReportMetric(float64(jobs), "jobs")
 }
 
 // BenchmarkGridThroughput measures the raw event rate of the grid

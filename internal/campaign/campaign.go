@@ -1,0 +1,361 @@
+// Package campaign runs multi-tenant enactment campaigns: M workflows,
+// each with its own enactor and optimization options, contending for one
+// shared grid — the regime the paper's findings live in, where "the
+// increasing load of the middleware services on a production
+// infrastructure cannot be neglected" because many users submit at once.
+//
+// Each tenant gets its own core.Enactor (independent Options, its own
+// workflow and input set) and a grid.Tenant submission handle; all
+// enactors are driven by the one sim.Engine, so a campaign is exactly as
+// deterministic as a solo run: same configuration and seed, same
+// per-tenant makespans. The grid's fair-share gate drains tenants
+// round-robin at the serialized UI, so one burst-submitting tenant delays
+// the others by a bounded factor instead of starving them behind its whole
+// burst (set grid.Config.StrictFIFOSubmit to compare against the
+// tenancy-unaware FIFO).
+//
+// Tenants may opt into adaptive granularity: at a fixed virtual period the
+// runner feeds the tenant's observed overhead, serial submission cost and
+// remaining work into model.OptimalBatch and retunes the enactor's
+// DataGroupSize mid-run — the paper's Sec. 5.5 "optimal strategy to adapt
+// the jobs' granularity to the grid load", closed as a feedback loop.
+//
+// Caution: tenants share one replica catalog. Wrapper output names embed
+// the executable name, so two tenants running descriptors with identical
+// executable names would collide in the catalog; give each tenant's codes
+// tenant-unique names (SyntheticChain does this automatically).
+package campaign
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/workflow"
+)
+
+// BuildFunc constructs one tenant's workflow and input set against the
+// tenant's submission handle: wrapper-backed services created on the
+// handle submit as that tenant, which is what keeps per-tenant accounting
+// disjoint. The builder may register the tenant's input files in the
+// shared catalog (via t.Grid().Catalog()).
+type BuildFunc func(t *grid.Tenant) (*workflow.Workflow, map[string][]string, error)
+
+// AdaptiveGranularity opts a tenant into mid-campaign job-granularity
+// retuning.
+type AdaptiveGranularity struct {
+	// Interval is the virtual period between retuning decisions (required
+	// > 0). The first decision happens one interval after the tenant's
+	// arrival, once some overhead has been observed.
+	Interval time.Duration
+	// Slots is the concurrency the granularity model assumes the grid
+	// grants this tenant. Zero means an equal share of the worker nodes
+	// (total nodes / number of tenants).
+	Slots int
+	// MinBatch/MaxBatch clamp the chosen batch size. Zero means
+	// unclamped.
+	MinBatch, MaxBatch int
+}
+
+// TenantSpec describes one tenant of a campaign.
+type TenantSpec struct {
+	// Name identifies the tenant; it must be unique and non-empty.
+	Name string
+	// Arrival is when the tenant starts submitting, relative to the
+	// campaign start — arrival waves are staggered Arrivals.
+	Arrival time.Duration
+	// Opts are the tenant's enactor options (its optimization mix).
+	Opts core.Options
+	// Build constructs the tenant's workflow against its submission
+	// handle.
+	Build BuildFunc
+	// Adapt, when non-nil, enables adaptive granularity for this tenant.
+	Adapt *AdaptiveGranularity
+}
+
+// Config assembles a campaign.
+type Config struct {
+	// Grid is the shared infrastructure model. Zero value:
+	// grid.DefaultConfig.
+	Grid    grid.Config
+	Tenants []TenantSpec
+}
+
+// Adaptation records one mid-campaign granularity retuning decision.
+type Adaptation struct {
+	At        time.Duration // decision instant, relative to the campaign start
+	Batch     int           // DataGroupSize chosen
+	Predicted time.Duration // model-predicted remaining makespan at that batch
+	Overhead  time.Duration // observed mean overhead fed into the model
+}
+
+// TenantResult is one tenant's outcome.
+type TenantResult struct {
+	Name    string
+	Arrival time.Duration
+	// Finish is the virtual instant (relative to the campaign start) the
+	// tenant's execution reached a terminal state; Makespan is
+	// Finish − Arrival (zero if the run failed or stalled).
+	Finish   time.Duration
+	Makespan time.Duration
+	Result   *core.Result
+	Err      error
+	// Overheads and Phases cover this tenant's jobs only; across tenants
+	// they partition the global grid statistics.
+	Overheads   grid.OverheadStats
+	Phases      grid.PhaseStats
+	Adaptations []Adaptation
+}
+
+// Report is the outcome of a campaign.
+type Report struct {
+	// Tenants holds per-tenant results in specification order.
+	Tenants []TenantResult
+	// Makespan is the campaign span: the latest tenant finish instant.
+	Makespan time.Duration
+	// Global aggregates every job of every tenant, as Grid.Overheads sees
+	// them.
+	Global       grid.OverheadStats
+	GlobalPhases grid.PhaseStats
+}
+
+// Run builds a fresh engine and grid from cfg and enacts all tenants on
+// them. Tenant-level failures (a failing service, a stalled workflow) are
+// reported per tenant, not as a Run error; Run errors are configuration
+// problems.
+func Run(cfg Config) (*Report, error) {
+	if reflect.DeepEqual(cfg.Grid, grid.Config{}) {
+		cfg.Grid = grid.DefaultConfig()
+	} else if len(cfg.Grid.Clusters) == 0 {
+		// A partially-filled config with no clusters is almost certainly a
+		// mistake; silently substituting DefaultConfig would discard the
+		// caller's seed and gate policy.
+		return nil, fmt.Errorf("campaign: grid config has no clusters (leave Grid entirely zero for the default grid)")
+	}
+	eng := sim.NewEngine()
+	return RunOn(eng, grid.New(eng, cfg.Grid), cfg.Tenants)
+}
+
+// tenantRun is the mutable state of one tenant during a campaign.
+type tenantRun struct {
+	spec        *TenantSpec
+	tenant      *grid.Tenant
+	en          *core.Enactor
+	inputs      map[string][]string
+	res         *core.Result
+	err         error
+	finished    bool
+	finish      sim.Time
+	adaptations []Adaptation
+}
+
+// RunOn enacts the tenants on an existing engine and grid, stepping the
+// engine until every tenant reaches a terminal state (or the event queue
+// drains, which marks the unfinished tenants as stalled). It is the
+// building block for callers that want to inspect the grid afterwards or
+// share it with other activity.
+func RunOn(eng *sim.Engine, g *grid.Grid, specs []TenantSpec) (*Report, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("campaign: no tenants")
+	}
+	seen := make(map[string]bool, len(specs))
+	for i := range specs {
+		ts := &specs[i]
+		if ts.Name == "" {
+			return nil, fmt.Errorf("campaign: tenant %d has an empty name", i)
+		}
+		if seen[ts.Name] {
+			return nil, fmt.Errorf("campaign: duplicate tenant name %q", ts.Name)
+		}
+		seen[ts.Name] = true
+		if ts.Build == nil {
+			return nil, fmt.Errorf("campaign: tenant %q has no workflow builder", ts.Name)
+		}
+		if ts.Arrival < 0 {
+			return nil, fmt.Errorf("campaign: tenant %q has a negative arrival", ts.Name)
+		}
+		if ts.Adapt != nil && ts.Adapt.Interval <= 0 {
+			return nil, fmt.Errorf("campaign: tenant %q has adaptive granularity without a positive interval", ts.Name)
+		}
+	}
+
+	campaignStart := eng.Now()
+	runners := make([]*tenantRun, len(specs))
+	remaining := len(specs)
+	pendingTicks := 0 // adapt ticks currently scheduled, across all tenants
+	for i := range specs {
+		ts := &specs[i]
+		th := g.Tenant(ts.Name)
+		wf, inputs, err := ts.Build(th)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: tenant %s: %w", ts.Name, err)
+		}
+		en, err := core.New(eng, wf, ts.Opts)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: tenant %s: %w", ts.Name, err)
+		}
+		r := &tenantRun{spec: ts, tenant: th, en: en, inputs: inputs}
+		runners[i] = r
+		// Arrivals are relative to the campaign start (the engine's
+		// current instant), so RunOn works on an engine whose clock has
+		// already advanced.
+		eng.Schedule(sim.Time(ts.Arrival), func() {
+			err := r.en.Start(r.inputs, func(res *core.Result, err error) {
+				r.res, r.err = res, err
+				r.finished = true
+				r.finish = eng.Now()
+				remaining--
+			})
+			if err != nil && !r.finished {
+				r.err, r.finished, r.finish = err, true, eng.Now()
+				remaining--
+			}
+			if r.spec.Adapt != nil && !r.finished {
+				scheduleAdapt(eng, g, r, len(specs), campaignStart, &pendingTicks)
+			}
+		})
+	}
+
+	for remaining > 0 && eng.Step() {
+	}
+
+	rep := &Report{Tenants: make([]TenantResult, len(runners))}
+	for i, r := range runners {
+		tr := TenantResult{
+			Name:        r.spec.Name,
+			Arrival:     r.spec.Arrival,
+			Result:      r.res,
+			Err:         r.err,
+			Overheads:   r.tenant.Overheads(),
+			Phases:      r.tenant.Phases(),
+			Adaptations: r.adaptations,
+		}
+		if !r.finished {
+			tr.Err = fmt.Errorf("campaign: tenant %s: %w", r.spec.Name, core.ErrStalled)
+		} else {
+			tr.Finish = time.Duration(r.finish - campaignStart)
+			if r.err == nil {
+				tr.Makespan = tr.Finish - tr.Arrival
+			}
+		}
+		if tr.Finish > rep.Makespan {
+			rep.Makespan = tr.Finish
+		}
+		rep.Tenants[i] = tr
+	}
+	rep.Global = g.Overheads()
+	rep.GlobalPhases = g.Phases()
+	return rep, nil
+}
+
+// scheduleAdapt installs the tenant's periodic granularity-retuning loop.
+// pendingTicks counts the campaign's scheduled ticks across all tenants:
+// a tick only re-arms while events other than the campaign's own ticks
+// are pending, so a stalled tenant's loop cannot keep the engine alive
+// forever (RunOn would otherwise never see the queue drain and never
+// report the stall).
+func scheduleAdapt(eng *sim.Engine, g *grid.Grid, r *tenantRun, nTenants int, campaignStart sim.Time, pendingTicks *int) {
+	var tick func()
+	arm := func() {
+		*pendingTicks++
+		eng.Schedule(sim.Time(r.spec.Adapt.Interval), tick)
+	}
+	tick = func() {
+		*pendingTicks--
+		if r.finished {
+			return
+		}
+		if a, ok := retune(g, r, nTenants, campaignStart); ok {
+			r.adaptations = append(r.adaptations, a)
+		}
+		// Pending() excludes this already-fired tick; if nothing beyond
+		// the campaign's other adapt ticks remains, no event can ever
+		// complete this tenant — stop re-arming and let the engine drain.
+		if eng.Pending() > *pendingTicks {
+			arm()
+		}
+	}
+	arm()
+}
+
+// retune makes one granularity decision from observed behaviour: the
+// tenant's mean overhead and serial submission cost so far, the mean
+// on-node time of its completed jobs, and the enactor's remaining
+// statically-expected invocations, fed into the Sec. 5.4 batching model.
+// It reports false when there is nothing to observe or nothing left to
+// retune.
+func retune(g *grid.Grid, r *tenantRun, nTenants int, campaignStart sim.Time) (Adaptation, bool) {
+	ad := r.spec.Adapt
+	jobs, overhead, submit, compute := observe(g, r.spec.Name)
+	if jobs == 0 {
+		return Adaptation{}, false
+	}
+	finished, expected, known := r.en.Progress()
+	if !known {
+		return Adaptation{}, false
+	}
+	remaining := expected - finished
+	if remaining <= 0 {
+		return Adaptation{}, false
+	}
+	slots := ad.Slots
+	if slots <= 0 {
+		slots = g.TotalNodes() / nTenants
+		if slots < 1 {
+			slots = 1
+		}
+	}
+	p := model.GranularityParams{
+		Overhead:     overhead,
+		SubmitSerial: submit,
+		Runtime:      compute,
+		Items:        remaining,
+		Slots:        slots,
+	}
+	k, pred := model.OptimalBatch(p)
+	if ad.MinBatch > 1 && k < ad.MinBatch {
+		k = ad.MinBatch
+	}
+	if ad.MaxBatch > 0 && k > ad.MaxBatch {
+		k = ad.MaxBatch
+	}
+	// Only actual changes are decisions worth applying and recording; a
+	// stable optimum would otherwise append an identical Adaptation every
+	// interval for the rest of the campaign.
+	if cur := r.en.Options().DataGroupSize; k == cur || (k <= 1 && cur <= 1) {
+		return Adaptation{}, false
+	}
+	r.en.SetDataGroupSize(k)
+	return Adaptation{
+		At:        time.Duration(g.Eng.Now() - campaignStart),
+		Batch:     k,
+		Predicted: pred,
+		Overhead:  overhead,
+	}, true
+}
+
+// observe scans the global record slice once for the tenant's completed
+// jobs, returning their count and mean grid overhead, UI submit phase and
+// on-node span (compute plus output staging) — the three observations the
+// granularity model feeds on, without the three separate record sweeps of
+// Overheads/Phases/Records.
+func observe(g *grid.Grid, tenant string) (jobs int, overhead, submit, compute time.Duration) {
+	for _, rec := range g.Records() {
+		if rec.Tenant != tenant || rec.Status != grid.StatusCompleted {
+			continue
+		}
+		jobs++
+		overhead += rec.Overhead()
+		submit += time.Duration(rec.Accepted - rec.Submitted)
+		compute += time.Duration(rec.Completed - rec.InputDone)
+	}
+	if jobs == 0 {
+		return 0, 0, 0, 0
+	}
+	n := time.Duration(jobs)
+	return jobs, overhead / n, submit / n, compute / n
+}

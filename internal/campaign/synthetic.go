@@ -1,0 +1,71 @@
+package campaign
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/descriptor"
+	"repro/internal/grid"
+	"repro/internal/services"
+	"repro/internal/workflow"
+)
+
+// SyntheticChain returns a BuildFunc for a linear pipeline of n
+// wrapper-backed stages processing `items` input files of fileMB each,
+// every stage costing `runtime` of compute on a reference node. Stage
+// executables are named "<tenant>.stageNN", which keeps output GFNs unique
+// across tenants sharing one catalog, and the tenant's input files are
+// registered under "gfn://<tenant>/..." at build time. It is the standard
+// workload for campaign scenarios: heterogeneous tenant mixes differ only
+// in their Options, so contention effects are attributable to scheduling,
+// not to workload shape.
+func SyntheticChain(n, items int, runtime time.Duration, fileMB float64) BuildFunc {
+	return func(t *grid.Tenant) (*workflow.Workflow, map[string][]string, error) {
+		if n < 1 || items < 1 {
+			return nil, nil, fmt.Errorf("campaign: synthetic chain needs at least one stage and one item")
+		}
+		tn := t.Name()
+		wf := workflow.New(tn)
+		wf.AddSource("src")
+		prev, prevPort := "src", workflow.SourcePort
+		for s := 0; s < n; s++ {
+			name := fmt.Sprintf("%s.stage%02d", tn, s)
+			d, err := stageDescriptor(name)
+			if err != nil {
+				return nil, nil, err
+			}
+			w, err := services.NewWrapper(t, d, services.ConstantRuntime(runtime),
+				map[string]float64{"out": fileMB})
+			if err != nil {
+				return nil, nil, err
+			}
+			wf.AddService(name, w, []string{"in"}, []string{"out"})
+			wf.Connect(prev, prevPort, name, "in")
+			prev, prevPort = name, "out"
+		}
+		wf.AddSink("sink")
+		wf.Connect(prev, prevPort, "sink", workflow.SinkPort)
+
+		inputs := make([]string, items)
+		for i := range inputs {
+			gfn := fmt.Sprintf("gfn://%s/input%04d", tn, i)
+			t.Grid().Catalog().Register(gfn, fileMB)
+			inputs[i] = gfn
+		}
+		return wf, map[string][]string{"src": inputs}, nil
+	}
+}
+
+// stageDescriptor builds the executable descriptor of one synthetic stage:
+// one GFN input, one GFN output.
+func stageDescriptor(name string) (*descriptor.Description, error) {
+	xml := fmt.Sprintf(`<description>
+<executable name=%q>
+<access type="URL"><path value="http://example.org"/></access>
+<value value="stage"/>
+<input name="in" option="-i"><access type="GFN"/></input>
+<output name="out" option="-o"><access type="GFN"/></output>
+</executable>
+</description>`, name)
+	return descriptor.Parse([]byte(xml))
+}

@@ -111,7 +111,15 @@ type Enactor struct {
 	active   int // queued tuples + in-flight invocations
 	done     bool
 	failure  error
+	start    sim.Time // virtual instant Start was called
 	finish   sim.Time
+
+	// Asynchronous completion (Start): notify fires exactly once when the
+	// run completes or fails; notified guards against late completions of
+	// in-flight invocations after a failure was already reported.
+	started  bool
+	notify   func(*Result, error)
+	notified bool
 
 	// dirty holds the indices of processors whose gate or queue must be
 	// re-evaluated at the next flush; procState.dirty guards duplicates,
@@ -313,13 +321,105 @@ func admissionCap(opts Options) int {
 // Workflow returns the workflow actually executed (after grouping).
 func (e *Enactor) Workflow() *workflow.Workflow { return e.wf }
 
+// Options returns the enactor's current options, reflecting any mid-run
+// SetDataGroupSize retuning.
+func (e *Enactor) Options() Options { return e.opts }
+
+// SetDataGroupSize retunes the per-service batching cap mid-run — the
+// adaptive-granularity knob (Sec. 5.5: "an optimal strategy to adapt the
+// jobs' granularity to the grid load"). Already-submitted batches are
+// unaffected; tuples admitted from now on are batched up to k per grid
+// job. As at construction, batching applies only to wrapper-backed
+// services and requires data parallelism; k < 1 is treated as 1 (batching
+// off). Safe to call at any time, including from a scheduled event while
+// the run is in flight.
+func (e *Enactor) SetDataGroupSize(k int) {
+	if k < 1 {
+		k = 1
+	}
+	e.opts.DataGroupSize = k
+	cap := 1
+	if k > 1 && e.opts.DataParallelism {
+		cap = k
+	}
+	changed := false
+	for _, st := range e.states {
+		if st.wrapper == nil || st.batchCap == cap {
+			continue
+		}
+		st.batchCap = cap
+		e.markDirty(st)
+		changed = true
+	}
+	// Before Start there is nothing to pump (and Start re-evaluates every
+	// gate anyway); mid-run, queued tuples must be re-examined under the
+	// new cap.
+	if changed && e.started {
+		e.flushDirty()
+		e.checkQuiescence()
+	}
+}
+
+// Progress reports how many service invocations have finished and how many
+// the whole execution statically expects. known is false when the expected
+// counts could not be derived (dynamic executions under service
+// parallelism), in which case expected is meaningless.
+func (e *Enactor) Progress() (finished, expected int, known bool) {
+	known = e.started
+	for _, st := range e.states {
+		if st.p.Kind != workflow.KindService {
+			continue
+		}
+		finished += st.finished
+		if st.expected == math.MaxInt {
+			known = false
+			continue
+		}
+		expected += st.expected
+	}
+	return finished, expected, known
+}
+
 // Run executes the workflow on the inputs (source name → item values) and
 // blocks, in wall time, until the virtual execution completes. It steps
 // the engine itself; the caller must not run the engine concurrently.
 func (e *Enactor) Run(inputs map[string][]string) (*Result, error) {
+	var (
+		res      *Result
+		runErr   error
+		finished bool
+	)
+	if err := e.Start(inputs, func(r *Result, err error) {
+		res, runErr, finished = r, err, true
+	}); err != nil {
+		return nil, err
+	}
+	for !finished && e.eng.Step() {
+	}
+	if !finished {
+		return nil, fmt.Errorf("%w: %s", ErrStalled, e.diagnose())
+	}
+	return res, runErr
+}
+
+// Start begins executing the workflow on the inputs without stepping the
+// engine: source items are delivered at the current virtual instant and
+// done fires exactly once, in virtual time, when the execution completes
+// (with its Result) or fails. The caller drives the shared engine — this
+// is how several enactors run concurrently on one grid (see
+// internal/campaign). The returned error covers synchronous validation
+// problems only; note that a trivially empty execution may complete (and
+// invoke done) before Start returns.
+func (e *Enactor) Start(inputs map[string][]string, done func(*Result, error)) error {
+	if done == nil {
+		return errors.New("core: Start with nil completion callback")
+	}
+	if e.started {
+		return errors.New("core: enactor already started (create a fresh Enactor per execution)")
+	}
 	for _, src := range e.wf.Sources() {
 		if _, ok := inputs[src.Name]; !ok {
-			return nil, fmt.Errorf("core: no input data for source %s", src.Name)
+			return fmt.Errorf("core: no input data for source %s", src.Name)
 		}
 	}
 	if counts, err := e.wf.ExpectedCounts(countsOf(inputs)); err == nil {
@@ -335,10 +435,14 @@ func (e *Enactor) Run(inputs map[string][]string) (*Result, error) {
 		// pointer slice.
 		e.trace.Invocations = make([]*Invocation, 0, total)
 	} else if !e.opts.ServiceParallelism {
-		return nil, fmt.Errorf("core: barrier execution needs static invocation counts: %w", err)
+		return fmt.Errorf("core: barrier execution needs static invocation counts: %w", err)
 	}
+	e.started = true
+	e.notify = done
+	e.start = e.eng.Now()
 
-	// Data sources deliver their items sequentially at t=0 (Sec. 2.2).
+	// Data sources deliver their items sequentially at the start instant
+	// (Sec. 2.2; t=0 for a solo Run).
 	for _, src := range e.wf.Sources() {
 		st := e.procs[src.Name]
 		for i, v := range inputs[src.Name] {
@@ -354,16 +458,23 @@ func (e *Enactor) Run(inputs map[string][]string) (*Result, error) {
 	}
 	e.flushDirty()
 	e.checkQuiescence()
+	return nil
+}
 
-	for !e.done && e.failure == nil && e.eng.Step() {
+// finishNotify delivers the terminal outcome to the Start callback, once.
+func (e *Enactor) finishNotify() {
+	if e.notified || e.notify == nil {
+		return
 	}
 	if e.failure != nil {
-		return nil, e.failure
+		e.notified = true
+		e.notify(nil, e.failure)
+		return
 	}
-	if !e.done {
-		return nil, fmt.Errorf("%w: %s", ErrStalled, e.diagnose())
+	if e.done {
+		e.notified = true
+		e.notify(e.result(), nil)
 	}
-	return e.result(), nil
 }
 
 func countsOf(inputs map[string][]string) map[string]int {
@@ -482,6 +593,12 @@ func (e *Enactor) drained(st *procState) bool {
 // pumpProc admits the processor's queued tuples wherever its gate and cap
 // allow.
 func (e *Enactor) pumpProc(st *procState) {
+	if e.failure != nil {
+		// Dead executions admit nothing: complete() already stops output
+		// delivery, but a pending DataGroupWindow flush timer can still
+		// reach here after the failure and must not submit held batches.
+		return
+	}
 	for st.open && st.queue.len() > 0 && st.inFlight < e.capLimit {
 		if batch := st.batchCap; batch > 1 {
 			if st.queue.len() < batch && e.opts.DataGroupWindow > 0 && !st.flushForced {
@@ -615,6 +732,15 @@ func (e *Enactor) complete(st *procState, inv *Invocation, inputs []*provenance.
 	inv.Err = resp.Err
 	if resp.Err != nil && e.failure == nil {
 		e.failure = fmt.Errorf("core: processor %s: %w", st.p.Name, resp.Err)
+		e.finishNotify()
+		return
+	}
+	if e.failure != nil {
+		// The run already failed; in-flight invocations still drain (their
+		// completions arrive as events on a possibly shared engine), but
+		// their outputs must not propagate — delivering would pump fresh
+		// invocations and keep a dead execution submitting jobs that
+		// contend with live ones.
 		return
 	}
 	for _, port := range st.p.OutPorts {
@@ -642,7 +768,10 @@ func (e *Enactor) complete(st *procState, inv *Invocation, inputs []*provenance.
 // ancestors is inactive"), and declares the run complete when nothing is
 // left to do.
 func (e *Enactor) checkQuiescence() {
-	if e.done || e.failure != nil || e.active > 0 {
+	// An enactor that has not started has no work by construction; without
+	// the guard, a pre-Start SetDataGroupSize would declare the run done
+	// (or fire sync processors on empty inputs) before any input arrives.
+	if !e.started || e.done || e.failure != nil || e.active > 0 {
 		return
 	}
 	fired := false
@@ -670,6 +799,7 @@ func (e *Enactor) checkQuiescence() {
 	}
 	e.done = true
 	e.finish = e.eng.Now()
+	e.finishNotify()
 }
 
 // fireSync invokes a synchronization processor once, with the complete
@@ -726,7 +856,7 @@ func (e *Enactor) diagnose() string {
 // result assembles the Result after completion.
 func (e *Enactor) result() *Result {
 	r := &Result{
-		Makespan: time.Duration(e.finish),
+		Makespan: time.Duration(e.finish - e.start),
 		Options:  e.opts,
 		Outputs:  make(map[string][]string),
 		Items:    make(map[string][]*provenance.Item),

@@ -38,11 +38,19 @@ func newCluster(g *Grid, cfg ClusterConfig, rnd *rng.Source) *cluster {
 	}
 }
 
+// rankFloor keeps the matchmaking perturbation alive on an idle grid: with
+// a bare backlog×noise product every idle cluster would rank exactly 0.0
+// and pickCluster's strict comparison would always select the first
+// (largest) computing element. Adding the floor before scaling makes the
+// idle-grid rank the noise itself, so idle clusters are picked uniformly,
+// while under load the backlog term dominates as before.
+const rankFloor = 0.05
+
 // rank estimates how long a new job would wait here: queue backlog scaled
 // by pool size, perturbed by the caller-provided noise factor.
 func (c *cluster) rank(noise float64) float64 {
 	backlog := float64(c.nodes.Waiting()+c.nodes.Busy()) / float64(c.cfg.Nodes)
-	return backlog * noise
+	return (backlog + rankFloor) * noise
 }
 
 // enqueue places a job attempt in the batch queue. finished(failed) is
@@ -69,6 +77,9 @@ func (c *cluster) stageIn(rec *JobRecord, finished func(failed bool)) {
 	for _, name := range rec.Spec.Inputs {
 		size, ok := c.g.catalog.Lookup(name)
 		if !ok {
+			// A stage-in failure is a failed attempt like any other and
+			// must show up in the per-cluster failure accounting.
+			c.fgFailed++
 			rec.Err = &FileError{Job: rec.Spec.Name, File: name, Err: ErrNoSuchFile}
 			c.release(rec, true, finished)
 			return

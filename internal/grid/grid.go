@@ -86,7 +86,13 @@ type Config struct {
 	// BackgroundHorizon stops background load generation after this much
 	// virtual time, so Engine.Run terminates in tests that drain all events.
 	BackgroundHorizon time.Duration
-	Seed              uint64
+	// StrictFIFOSubmit disables the fair-share gate at the UI: submissions
+	// are paid in global arrival order regardless of tenant, so one
+	// burst-submitting tenant occupies the whole queue ahead of everyone
+	// else. The default (false) drains tenants round-robin. With a single
+	// tenant the two policies are identical.
+	StrictFIFOSubmit bool
+	Seed             uint64
 }
 
 // DefaultConfig returns a production-grid model: ten clusters, ~1380
@@ -115,7 +121,17 @@ func DefaultConfig() Config {
 		Clusters: clusters,
 		Overheads: OverheadConfig{
 			SubmitMean: 20 * time.Second, SubmitSD: 9 * time.Second,
-			SubmitLoadFactor: 0,
+			// Calibrated so burst submission (a data-parallel stage of the
+			// paper's experiment, 100+ queued requests) inflates the mean
+			// UI latency by ~20–25% — the paper's loaded regime — while
+			// serial (NOP) submission stays unloaded and Table 1's
+			// optimization ordering (SP+DP < DP at every size) holds under
+			// the median-of-5 protocol (bronze.TestMedianOrderingAt126;
+			// single seeds can flip within noise at 126 pairs, and the
+			// pinned golden seed is one that does). Larger factors make
+			// the serialized UI the global bottleneck and invert the
+			// ordering outright.
+			SubmitLoadFactor: 0.002,
 			BrokerMean:       25 * time.Second, BrokerSD: 15 * time.Second,
 			DispatchMean: 90 * time.Second, DispatchSD: 180 * time.Second,
 			TransferLatency: 2 * time.Second,
@@ -156,13 +172,21 @@ func IdealConfig(nodes int) Config {
 type Grid struct {
 	Eng      *sim.Engine
 	cfg      Config
-	ui       *sim.Resource
 	broker   *sim.Resource
 	clusters []*cluster
 	catalog  *Catalog
 	rnd      *rng.Source
 	records  []*JobRecord
 	nextID   int
+	tenants  map[string]*Tenant
+
+	// Fair-share submission gate in front of the serialized UI: one queue
+	// per tenant, drained round-robin (see pumpSubmits).
+	subQueues  map[string]*submitQueue
+	subRing    []string // tenants in first-submission order
+	subRR      int      // next ring slot to serve
+	subPending int      // accepted, UI latency not yet paid
+	uiBusy     bool
 }
 
 // New builds a grid on the engine from the configuration.
@@ -174,12 +198,13 @@ func New(eng *sim.Engine, cfg Config) *Grid {
 		cfg.BrokerSlots = 1
 	}
 	g := &Grid{
-		Eng:     eng,
-		cfg:     cfg,
-		ui:      sim.NewResource(eng, 1),
-		broker:  sim.NewResource(eng, cfg.BrokerSlots),
-		catalog: NewCatalog(),
-		rnd:     rng.New(cfg.Seed),
+		Eng:       eng,
+		cfg:       cfg,
+		broker:    sim.NewResource(eng, cfg.BrokerSlots),
+		catalog:   NewCatalog(),
+		rnd:       rng.New(cfg.Seed),
+		tenants:   make(map[string]*Tenant),
+		subQueues: make(map[string]*submitQueue),
 	}
 	for i, cc := range cfg.Clusters {
 		c := newCluster(g, cc, g.rnd.Fork(uint64(i)+100))
@@ -193,6 +218,11 @@ func New(eng *sim.Engine, cfg Config) *Grid {
 
 // Catalog returns the grid's replica catalog.
 func (g *Grid) Catalog() *Catalog { return g.catalog }
+
+// Grid returns the grid itself. It exists so *Grid satisfies the same
+// submission-target interfaces a *Tenant does (services.Submitter), letting
+// single-workflow code pass the grid where campaigns pass a tenant handle.
+func (g *Grid) Grid() *Grid { return g }
 
 // Config returns the configuration the grid was built from.
 func (g *Grid) Config() Config { return g.cfg }
@@ -227,6 +257,34 @@ func (g *Grid) QueuedJobs() int {
 		n += c.nodes.Waiting()
 	}
 	return n
+}
+
+// ClusterStat summarizes one computing element's job accounting.
+type ClusterStat struct {
+	Name string
+	// ForegroundJobs counts workflow job attempts dispatched to a worker
+	// node (resubmissions count again).
+	ForegroundJobs uint64
+	// ForegroundFailed counts attempts that ended in failure, whether the
+	// failure struck during input staging (missing catalog file) or during
+	// computation.
+	ForegroundFailed uint64
+	// BackgroundJobs counts multi-user background jobs started.
+	BackgroundJobs uint64
+}
+
+// ClusterStats returns per-cluster accounting, in configuration order.
+func (g *Grid) ClusterStats() []ClusterStat {
+	out := make([]ClusterStat, len(g.clusters))
+	for i, c := range g.clusters {
+		out[i] = ClusterStat{
+			Name:             c.cfg.Name,
+			ForegroundJobs:   c.fgJobs,
+			ForegroundFailed: c.fgFailed,
+			BackgroundJobs:   c.bgJobs,
+		}
+	}
+	return out
 }
 
 func (g *Grid) drawLogNormal(mean, sd time.Duration) time.Duration {

@@ -60,7 +60,11 @@ func (s JobStatus) String() string {
 // than timestamps are set once; timestamps are filled as the job
 // progresses. All times are virtual.
 type JobRecord struct {
-	ID      int
+	ID int
+	// Tenant names the submission handle the job came through (empty for
+	// jobs submitted directly via Grid.Submit). Per-tenant statistics
+	// filter the global record set on this tag.
+	Tenant  string
 	Spec    JobSpec
 	Status  JobStatus
 	Cluster string
@@ -100,45 +104,148 @@ var ErrNoSuchFile = errors.New("grid: input file not in replica catalog")
 // ErrTooManyFailures reports a job that exhausted its resubmissions.
 var ErrTooManyFailures = errors.New("grid: job failed after maximum retries")
 
-// Submit enters a job into the grid. done is invoked exactly once, in
-// virtual time, when the job reaches a terminal state. Resubmission after
-// failure is transparent: done only sees the final outcome.
+// Submit enters a job into the grid under the default (anonymous) tenant.
+// done is invoked exactly once, in virtual time, when the job reaches a
+// terminal state. Resubmission after failure is transparent: done only
+// sees the final outcome.
 //
 // Submit is asynchronous and returns the job's record immediately, so
-// callers can observe progress.
+// callers can observe progress. To tag submissions for per-tenant
+// accounting and fair-share scheduling, submit through a Tenant handle
+// instead.
 func (g *Grid) Submit(spec JobSpec, done func(*JobRecord)) *JobRecord {
+	return g.submit("", spec, done)
+}
+
+// pendingSubmit is one submission waiting at the fair-share gate in front
+// of the serialized UI.
+type pendingSubmit struct {
+	rec  *JobRecord
+	done func(*JobRecord)
+}
+
+// submitQueue is a FIFO of pending submissions with O(1) pops: a head
+// index advances instead of re-slicing, and the buffer compacts once the
+// dead prefix dominates (the same shape as core's tupleQueue). Popped
+// slots are zeroed so completed jobs' callbacks are not retained.
+type submitQueue struct {
+	buf  []pendingSubmit
+	head int
+}
+
+func (q *submitQueue) len() int { return len(q.buf) - q.head }
+
+func (q *submitQueue) push(ps pendingSubmit) { q.buf = append(q.buf, ps) }
+
+func (q *submitQueue) peek() pendingSubmit { return q.buf[q.head] }
+
+func (q *submitQueue) pop() pendingSubmit {
+	ps := q.buf[q.head]
+	q.buf[q.head] = pendingSubmit{}
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	} else if q.head > 64 && q.head > len(q.buf)/2 {
+		n := copy(q.buf, q.buf[q.head:])
+		clear(q.buf[n:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return ps
+}
+
+func (g *Grid) submit(tenant string, spec JobSpec, done func(*JobRecord)) *JobRecord {
 	if done == nil {
 		panic("grid: Submit with nil completion callback")
 	}
 	rec := &JobRecord{
 		ID:        g.nextID,
+		Tenant:    tenant,
 		Spec:      spec,
 		Status:    StatusSubmitted,
 		Submitted: g.Eng.Now(),
 	}
 	g.nextID++
 	g.records = append(g.records, rec)
-
-	// Serialized UI submission: one job at a time pays the submit latency,
-	// inflated by the middleware's current load (queued submissions).
-	g.ui.Acquire(func() {
-		d := g.drawLogNormal(g.cfg.Overheads.SubmitMean, g.cfg.Overheads.SubmitSD)
-		if f := g.cfg.Overheads.SubmitLoadFactor; f > 0 {
-			mult := 1 + f*float64(g.ui.Waiting())
-			if mult > maxSubmitLoad {
-				mult = maxSubmitLoad
-			}
-			d = time.Duration(float64(d) * mult)
-		}
-		g.Eng.Schedule(d, func() {
-			g.ui.Release()
-			rec.Status = StatusAccepted
-			rec.Accepted = g.Eng.Now()
-			g.match(rec, done)
-		})
-	})
+	q, ok := g.subQueues[tenant]
+	if !ok {
+		// First submission ever from this tenant: join the round-robin
+		// ring. Drained queues stay in the map so the ring has no
+		// duplicates.
+		q = &submitQueue{}
+		g.subQueues[tenant] = q
+		g.subRing = append(g.subRing, tenant)
+	}
+	q.push(pendingSubmit{rec, done})
+	g.subPending++
+	g.pumpSubmits()
 	return rec
 }
+
+// pumpSubmits starts the next submission on the serialized UI. The gate
+// drains the per-tenant queues round-robin (fair share): a burst-submitting
+// tenant occupies only its own queue, so the other tenants' submissions
+// keep interleaving one-for-one instead of waiting behind the whole burst.
+// With a single tenant the gate degenerates to the plain FIFO of a
+// tenancy-unaware UI; Config.StrictFIFOSubmit restores that global FIFO
+// even across tenants, for fairness comparisons.
+func (g *Grid) pumpSubmits() {
+	if g.uiBusy {
+		return
+	}
+	pick := -1 // index into subRing of the tenant to serve
+	if g.cfg.StrictFIFOSubmit {
+		bestID := -1
+		for i, tn := range g.subRing {
+			if q := g.subQueues[tn]; q.len() > 0 && (bestID < 0 || q.peek().rec.ID < bestID) {
+				bestID, pick = q.peek().rec.ID, i
+			}
+		}
+	} else {
+		n := len(g.subRing)
+		for i := 0; i < n; i++ {
+			idx := (g.subRR + i) % n
+			if g.subQueues[g.subRing[idx]].len() > 0 {
+				pick = idx
+				break
+			}
+		}
+	}
+	if pick < 0 {
+		return
+	}
+	ps := g.subQueues[g.subRing[pick]].pop()
+	if !g.cfg.StrictFIFOSubmit {
+		g.subRR = (pick + 1) % len(g.subRing)
+	}
+
+	// One job at a time pays the submit latency, inflated by the
+	// middleware's current load (submissions accepted but not yet paid).
+	g.uiBusy = true
+	d := g.drawLogNormal(g.cfg.Overheads.SubmitMean, g.cfg.Overheads.SubmitSD)
+	if f := g.cfg.Overheads.SubmitLoadFactor; f > 0 {
+		mult := 1 + f*float64(g.subPending-1)
+		if mult > maxSubmitLoad {
+			mult = maxSubmitLoad
+		}
+		d = time.Duration(float64(d) * mult)
+	}
+	rec, done := ps.rec, ps.done
+	g.Eng.Schedule(d, func() {
+		g.subPending--
+		g.uiBusy = false
+		rec.Status = StatusAccepted
+		rec.Accepted = g.Eng.Now()
+		g.match(rec, done)
+		g.pumpSubmits()
+	})
+}
+
+// PendingSubmits reports how many submissions have been accepted by the
+// gate but have not yet cleared the UI (including the one in service) —
+// the backlog driving the SubmitLoadFactor saturation multiplier.
+func (g *Grid) PendingSubmits() int { return g.subPending }
 
 // match sends the job through the Resource Broker and on to a cluster.
 func (g *Grid) match(rec *JobRecord, done func(*JobRecord)) {

@@ -16,22 +16,36 @@ type OverheadStats struct {
 	SD        time.Duration
 	Min, Max  time.Duration
 	P50, P90  time.Duration
-	Resubmits int // attempts beyond the first, across all jobs
+	Resubmits int // attempts beyond the first, across terminal jobs
 	Failed    int // jobs that ended in StatusFailed
 }
 
 // Overheads computes overhead statistics over all completed jobs.
+// Resubmits and Failed only count terminal (completed or failed) jobs:
+// in-flight records are still mutating and their attempts are not yet
+// attributable.
 func (g *Grid) Overheads() OverheadStats {
+	return overheadStats(g.records, nil)
+}
+
+// overheadStats computes the statistics over the records accepted by keep
+// (nil keeps everything). Percentiles use the upper nearest-rank
+// convention: P50 is durs[n/2] and P90 is durs[n*9/10] of the sorted
+// overheads, so on tiny samples they degenerate towards Max (n=1: both
+// equal the single observation; n=2: both equal the larger one).
+func overheadStats(records []*JobRecord, keep func(*JobRecord) bool) OverheadStats {
 	var durs []time.Duration
 	st := OverheadStats{}
-	for _, r := range g.records {
-		if r.Attempts > 0 {
-			st.Resubmits += r.Attempts - 1
+	for _, r := range records {
+		if keep != nil && !keep(r) {
+			continue
 		}
 		switch r.Status {
 		case StatusCompleted:
+			st.Resubmits += r.Attempts - 1
 			durs = append(durs, r.Overhead())
 		case StatusFailed:
+			st.Resubmits += r.Attempts - 1
 			st.Failed++
 		}
 	}
@@ -89,9 +103,18 @@ type PhaseStats struct {
 // Resubmitted jobs attribute everything after acceptance to the final
 // attempt, so phase means stay comparable across failure rates.
 func (g *Grid) Phases() PhaseStats {
+	return phaseStats(g.records, nil)
+}
+
+// phaseStats computes the per-phase means over the completed records
+// accepted by keep (nil keeps everything).
+func phaseStats(records []*JobRecord, keep func(*JobRecord) bool) PhaseStats {
 	var st PhaseStats
 	var submit, broker, queue, staging float64
-	for _, r := range g.records {
+	for _, r := range records {
+		if keep != nil && !keep(r) {
+			continue
+		}
 		if r.Status != StatusCompleted {
 			continue
 		}

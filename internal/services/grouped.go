@@ -39,7 +39,7 @@ type GroupMember struct {
 // exposes the same invocation interface as any other service.
 type Grouped struct {
 	name    string
-	g       *grid.Grid
+	g       Submitter // first member's target: the group submits as that tenant
 	members []GroupMember
 	invoked map[string]int // per index key, for deterministic output names
 }
@@ -51,13 +51,20 @@ func NewGrouped(name string, members []GroupMember) (*Grouped, error) {
 	if len(members) < 2 {
 		return nil, fmt.Errorf("services: group %s needs at least 2 members", name)
 	}
-	g := members[0].W.Grid()
+	if members[0].W == nil {
+		return nil, fmt.Errorf("services: group %s: member 0 has no wrapper", name)
+	}
+	sub := members[0].W.Submitter()
 	for i, m := range members {
 		if m.W == nil {
 			return nil, fmt.Errorf("services: group %s: member %d has no wrapper", name, i)
 		}
-		if m.W.Grid() != g {
-			return nil, fmt.Errorf("services: group %s: member %d targets a different grid", name, i)
+		// Handle identity, not just grid identity: tenant handles are
+		// memoized, so this also rejects mixing tenants of one grid —
+		// the group submits as a single tenant and mixed members would
+		// silently be accounted to member 0's.
+		if m.W.Submitter() != sub {
+			return nil, fmt.Errorf("services: group %s: member %d targets a different grid or tenant", name, i)
 		}
 		for in, ref := range m.Internal {
 			if _, ok := m.W.Descriptor().Input(in); !ok {
@@ -79,7 +86,7 @@ func NewGrouped(name string, members []GroupMember) (*Grouped, error) {
 			}
 		}
 	}
-	return &Grouped{name: name, g: g, members: members, invoked: make(map[string]int)}, nil
+	return &Grouped{name: name, g: sub, members: members, invoked: make(map[string]int)}, nil
 }
 
 // Name implements Service.

@@ -63,6 +63,18 @@ type Service interface {
 	Invoke(req Request, done func(Response))
 }
 
+// Submitter abstracts where wrapper-backed services send their grid jobs:
+// the whole grid (the single-workflow case — *grid.Grid satisfies the
+// interface directly) or one tenant of a shared grid (*grid.Tenant, used
+// by multi-tenant campaigns), which tags submissions for per-tenant
+// accounting and routes them through the fair-share gate at the UI.
+type Submitter interface {
+	// Submit enters a job, invoking done once at its terminal state.
+	Submit(spec grid.JobSpec, done func(*grid.JobRecord)) *grid.JobRecord
+	// Grid returns the underlying grid (catalog, configuration, stats).
+	Grid() *grid.Grid
+}
+
 // RuntimeModel gives the compute time of a code for one invocation. Models
 // may depend on the request (e.g. per-item synthetic variability).
 type RuntimeModel func(req Request) time.Duration

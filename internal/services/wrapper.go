@@ -14,7 +14,7 @@ import (
 // and the bound inputs, chooses fresh GFNs for the outputs, submits one
 // grid job, and reports the registered outputs.
 type Wrapper struct {
-	g    *grid.Grid
+	g    Submitter
 	desc *descriptor.Description
 	run  RuntimeModel
 	// outSizes gives the size in MB of each produced file (by output name).
@@ -27,8 +27,10 @@ type Wrapper struct {
 }
 
 // NewWrapper builds a generic wrapper around the descriptor. outSizes maps
-// each declared output name to the size of the file the code produces.
-func NewWrapper(g *grid.Grid, desc *descriptor.Description, run RuntimeModel, outSizes map[string]float64) (*Wrapper, error) {
+// each declared output name to the size of the file the code produces. g
+// is where jobs go: pass the *grid.Grid itself, or a *grid.Tenant handle
+// to tag every submission with that tenant.
+func NewWrapper(g Submitter, desc *descriptor.Description, run RuntimeModel, outSizes map[string]float64) (*Wrapper, error) {
 	if err := desc.Validate(); err != nil {
 		return nil, err
 	}
@@ -57,7 +59,12 @@ func (w *Wrapper) Runtime() RuntimeModel { return w.run }
 func (w *Wrapper) OutputSize(name string) float64 { return w.outSizes[name] }
 
 // Grid returns the grid this wrapper submits to.
-func (w *Wrapper) Grid() *grid.Grid { return w.g }
+func (w *Wrapper) Grid() *grid.Grid { return w.g.Grid() }
+
+// Submitter returns the submission target (the grid itself or a tenant
+// handle on it). Grouped services submit through their first member's
+// target, preserving tenancy.
+func (w *Wrapper) Submitter() Submitter { return w.g }
 
 // bind chooses fresh output GFNs and composes the bindings for one
 // invocation.

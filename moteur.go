@@ -26,6 +26,7 @@
 package moteur
 
 import (
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/descriptor"
@@ -63,6 +64,11 @@ type (
 
 // NewGrid builds a grid on the engine.
 func NewGrid(eng *Engine, cfg GridConfig) *Grid { return grid.New(eng, cfg) }
+
+// GridTenant is a named submission handle on a shared grid: jobs submitted
+// through it are tagged for per-tenant accounting and scheduled through
+// the fair-share gate. Obtain one with Grid.Tenant(name).
+type GridTenant = grid.Tenant
 
 // DefaultGridConfig returns the calibrated production-grid model.
 func DefaultGridConfig() GridConfig { return grid.DefaultConfig() }
@@ -145,6 +151,40 @@ func NewEnactor(eng *Engine, wf *Workflow, opts Options) (*Enactor, error) {
 // AutoGroup fuses eligible sequential wrapper chains into single-job
 // grouped processors (the JG optimization), returning a new workflow.
 var AutoGroup = core.AutoGroup
+
+// Multi-tenant campaigns: M workflows, each with its own enactor and
+// options, contending for one shared grid (see internal/campaign).
+type (
+	// Campaign configures a multi-tenant run: the shared grid model plus
+	// one TenantSpec per tenant.
+	Campaign = campaign.Config
+	// CampaignTenant describes one tenant: name, arrival instant,
+	// enactor options, workflow builder, optional adaptive granularity.
+	CampaignTenant = campaign.TenantSpec
+	// CampaignBuild constructs a tenant's workflow against its grid
+	// handle.
+	CampaignBuild = campaign.BuildFunc
+	// CampaignReport is the campaign outcome: per-tenant results plus
+	// global grid statistics.
+	CampaignReport = campaign.Report
+	// CampaignTenantResult is one tenant's outcome.
+	CampaignTenantResult = campaign.TenantResult
+	// AdaptiveGranularity opts a tenant into mid-campaign job-granularity
+	// retuning driven by OptimalBatch on observed overheads.
+	AdaptiveGranularity = campaign.AdaptiveGranularity
+)
+
+// Campaign runners and helpers.
+var (
+	// RunCampaign builds a fresh engine and shared grid and enacts all
+	// tenants concurrently on them.
+	RunCampaign = campaign.Run
+	// RunCampaignOn enacts tenants on an existing engine and grid.
+	RunCampaignOn = campaign.RunOn
+	// SyntheticChain builds the standard campaign workload: a linear
+	// pipeline of wrapper-backed stages with tenant-unique file names.
+	SyntheticChain = campaign.SyntheticChain
+)
 
 // Data identity.
 type (

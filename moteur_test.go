@@ -181,3 +181,34 @@ func TestPublicAPIAutoGroup(t *testing.T) {
 		t.Fatal("A+B not grouped through public API")
 	}
 }
+
+func TestPublicAPICampaign(t *testing.T) {
+	gc := IdealGridConfig(32)
+	gc.Overheads.SubmitMean = 2 * time.Second
+	rep, err := RunCampaign(Campaign{
+		Grid: gc,
+		Tenants: []CampaignTenant{
+			{Name: "a", Opts: Options{DataParallelism: true, ServiceParallelism: true},
+				Build: SyntheticChain(2, 4, 10*time.Second, 1)},
+			{Name: "b", Arrival: time.Minute, Opts: Options{DataParallelism: true},
+				Build: SyntheticChain(1, 6, 10*time.Second, 1)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tenants) != 2 {
+		t.Fatalf("tenants = %d", len(rep.Tenants))
+	}
+	for _, tr := range rep.Tenants {
+		if tr.Err != nil {
+			t.Fatalf("tenant %s: %v", tr.Name, tr.Err)
+		}
+		if tr.Makespan <= 0 {
+			t.Fatalf("tenant %s makespan %v", tr.Name, tr.Makespan)
+		}
+	}
+	if rep.Global.Jobs != rep.Tenants[0].Overheads.Jobs+rep.Tenants[1].Overheads.Jobs {
+		t.Fatal("per-tenant stats do not partition the global stats")
+	}
+}
