@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench campaign-bench clean
+.PHONY: all build test vet bench campaign-bench federation-bench clean help
 
 all: vet build test
 
@@ -24,5 +24,23 @@ bench:
 campaign-bench:
 	$(GO) test -bench BenchmarkCampaignScale -benchmem -benchtime 2x -run '^$$' . | tee BENCH_2.json
 
+# Federated brokering benchmark (16 tenants brokered across 4
+# heterogeneous grids by the overhead-ranked policy, cross-grid
+# re-brokering on); two iterations so the in-benchmark determinism
+# assertion compares dispatch schedules across runs.
+federation-bench:
+	$(GO) test -bench BenchmarkFederationScale -benchmem -benchtime 2x -run '^$$' . | tee BENCH_3.json
+
 clean:
-	rm -f BENCH_1.json BENCH_2.json
+	rm -f BENCH_1.json BENCH_2.json BENCH_3.json
+
+help:
+	@echo "Targets:"
+	@echo "  all              vet + build + test"
+	@echo "  build            go build ./..."
+	@echo "  test             go test ./...   (tier-1 verify)"
+	@echo "  vet              go vet ./..."
+	@echo "  bench            full paper suite                      -> BENCH_1.json"
+	@echo "  campaign-bench   32-tenant shared-grid campaign        -> BENCH_2.json"
+	@echo "  federation-bench 4 grids x 16 tenants, ranked broker   -> BENCH_3.json"
+	@echo "  clean            remove BENCH_*.json"

@@ -14,6 +14,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/diagram"
+	"repro/internal/federation"
 	"repro/internal/grid"
 	"repro/internal/metrics"
 	"repro/internal/model"
@@ -405,6 +406,94 @@ func BenchmarkCampaignScale(b *testing.B) {
 	}
 	b.ReportMetric(span.Seconds(), "sim_s")
 	b.ReportMetric(float64(jobs), "jobs")
+}
+
+// BenchmarkFederationScale measures the federated brokering layer at
+// scale: 16 tenants enacting 8-service wrapper chains over nD=100 items,
+// brokered by the overhead-ranked policy across 4 heterogeneous member
+// grids (cluster counts shrink and UI latencies grow from grid 0 to
+// grid 3, seeds differ, cross-grid re-brokering enabled). Per-tenant
+// makespans and per-grid dispatch counts are captured on the first
+// iteration and asserted identical on every subsequent one, so the
+// benchmark doubles as a federation determinism check; sim_s reports the
+// campaign span, jobs the federation-wide terminal job count, and
+// grids_used how many members the policy actually exercised.
+func BenchmarkFederationScale(b *testing.B) {
+	const nGrids, nTenants, nServices, nD = 4, 16, 8, 100
+	mixes := []core.Options{
+		{ServiceParallelism: true, DataParallelism: true},
+		{ServiceParallelism: true, DataParallelism: true, JobGrouping: true},
+		{DataParallelism: true},
+		{ServiceParallelism: true, DataParallelism: true,
+			DataGroupSize: 8, DataGroupWindow: 2 * time.Minute},
+	}
+	tenants := func() []campaign.TenantSpec {
+		specs := make([]campaign.TenantSpec, nTenants)
+		for i := 0; i < nTenants; i++ {
+			specs[i] = campaign.TenantSpec{
+				Name:    fmt.Sprintf("t%02d", i),
+				Arrival: time.Duration(i) * time.Minute,
+				Opts:    mixes[i%len(mixes)],
+				Build:   campaign.SyntheticChain(nServices, nD, 2*time.Minute, 5),
+			}
+		}
+		return specs
+	}
+	var firstMakespans []time.Duration
+	var firstDispatch []int
+	var span time.Duration
+	var jobs, used int
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		fed, err := federation.New(eng, federation.Config{
+			Grids:    federation.HeterogeneousSpecs(nGrids, 1),
+			Policy:   federation.Ranked(),
+			Rebroker: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := campaign.RunFederated(eng, fed, tenants())
+		if err != nil {
+			b.Fatal(err)
+		}
+		makespans := make([]time.Duration, len(rep.Tenants))
+		for j, tr := range rep.Tenants {
+			if tr.Err != nil {
+				b.Fatalf("tenant %s: %v", tr.Name, tr.Err)
+			}
+			makespans[j] = tr.Makespan
+		}
+		dispatch := make([]int, fed.Size())
+		used = 0
+		for j := range dispatch {
+			dispatch[j] = fed.Telemetry(j).Dispatched
+			if dispatch[j] > 0 {
+				used++
+			}
+		}
+		if firstMakespans == nil {
+			firstMakespans, firstDispatch = makespans, dispatch
+		} else {
+			for j := range makespans {
+				if makespans[j] != firstMakespans[j] {
+					b.Fatalf("tenant %d makespan not deterministic: %v vs %v",
+						j, makespans[j], firstMakespans[j])
+				}
+			}
+			for j := range dispatch {
+				if dispatch[j] != firstDispatch[j] {
+					b.Fatalf("grid %d dispatch count not deterministic: %d vs %d",
+						j, dispatch[j], firstDispatch[j])
+				}
+			}
+		}
+		span = rep.Makespan
+		jobs = rep.Global.Jobs + rep.Global.Failed
+	}
+	b.ReportMetric(span.Seconds(), "sim_s")
+	b.ReportMetric(float64(jobs), "jobs")
+	b.ReportMetric(float64(used), "grids_used")
 }
 
 // BenchmarkGridThroughput measures the raw event rate of the grid

@@ -1,0 +1,158 @@
+// Command federation sweeps broker policies over a multi-grid federated
+// campaign: the same multi-tenant load is enacted once per policy on a
+// fresh, identically-seeded federation of heterogeneous grids, so the
+// per-policy makespan distributions and per-grid dispatch tables are
+// directly comparable. The member grids are derived from the default
+// production-grid model with skewed capacity and UI latency
+// (federation.HeterogeneousSpecs), which is the regime where brokering
+// matters: a policy blind to middleware quality parks load behind slow
+// serialized UIs.
+//
+// Examples:
+//
+//	federation                                  # sweep all policies, 4 grids × 16 tenants
+//	federation -grids 2 -tenants 8 -policies ranked,backlog
+//	federation -policies ranked,pinned:3 -v     # acceptance comparison + per-grid tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/federation"
+	"repro/internal/sim"
+)
+
+// mixes is the optimization rotation across tenants, as in cmd/campaign.
+var mixes = []core.Options{
+	{ServiceParallelism: true, DataParallelism: true},
+	{ServiceParallelism: true, DataParallelism: true, JobGrouping: true},
+	{DataParallelism: true},
+	{ServiceParallelism: true, DataParallelism: true, DataGroupSize: 4, DataGroupWindow: time.Minute},
+}
+
+func main() {
+	var (
+		grids    = flag.Int("grids", 4, "number of member grids in the federation")
+		tenants  = flag.Int("tenants", 16, "number of concurrent tenants")
+		servs    = flag.Int("services", 4, "pipeline stages per tenant workflow")
+		items    = flag.Int("items", 20, "input data items per tenant")
+		runtime  = flag.Duration("runtime", 2*time.Minute, "per-stage compute time")
+		fileMB   = flag.Float64("filemb", 5, "input/intermediate file size (MB)")
+		spread   = flag.Duration("spread", time.Minute, "arrival stagger between tenants")
+		seed     = flag.Uint64("seed", 1, "base random seed (grid i uses seed+i)")
+		rebroker = flag.Int("rebroker", 1, "cross-grid resubmissions after terminal failure")
+		policies = flag.String("policies", "ranked,backlog,rr,pinned:0", "comma-separated policies to sweep (ranked|backlog|rr|pinned:N)")
+		verbose  = flag.Bool("v", false, "print the per-grid dispatch and telemetry table per policy")
+	)
+	flag.Parse()
+
+	var sweep []federation.Policy
+	for _, name := range strings.Split(*policies, ",") {
+		p, err := parsePolicy(strings.TrimSpace(name), *grids)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "federation:", err)
+			os.Exit(2)
+		}
+		sweep = append(sweep, p)
+	}
+
+	specs := make([]campaign.TenantSpec, *tenants)
+	for i := range specs {
+		specs[i] = campaign.TenantSpec{
+			Name:    fmt.Sprintf("t%02d", i),
+			Arrival: time.Duration(i) * *spread,
+			Opts:    mixes[i%len(mixes)],
+			Build:   campaign.SyntheticChain(*servs, *items, *runtime, *fileMB),
+		}
+	}
+
+	fmt.Printf("federation sweep: %d tenants × %d-stage chains × %d items over %d heterogeneous grids (seed %d, rebroker %d)\n\n",
+		*tenants, *servs, *items, *grids, *seed, *rebroker)
+	fmt.Printf("%-16s %12s %12s %12s %6s %6s %10s %6s\n",
+		"policy", "span", "p50", "p95", "jobs", "failed", "resubmits", "grids")
+
+	for _, policy := range sweep {
+		eng := sim.NewEngine()
+		fed, err := federation.New(eng, federation.Config{
+			Grids:    federation.HeterogeneousSpecs(*grids, *seed),
+			Policy:   policy,
+			Rebroker: *rebroker,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "federation:", err)
+			os.Exit(1)
+		}
+		rep, err := campaign.RunFederated(eng, fed, specs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "federation:", err)
+			os.Exit(1)
+		}
+		ms := make([]time.Duration, 0, len(rep.Tenants))
+		for _, tr := range rep.Tenants {
+			if tr.Err != nil {
+				fmt.Fprintf(os.Stderr, "federation: %s: tenant %s: %v\n", policy.Name(), tr.Name, tr.Err)
+				continue
+			}
+			ms = append(ms, tr.Makespan)
+		}
+		sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+		used := 0
+		for i := 0; i < fed.Size(); i++ {
+			if fed.Telemetry(i).Dispatched > 0 {
+				used++
+			}
+		}
+		fmt.Printf("%-16s %12v %12v %12v %6d %6d %10d %3d/%d\n",
+			policy.Name(), rep.Makespan.Round(time.Second),
+			pct(ms, 50).Round(time.Second), pct(ms, 95).Round(time.Second),
+			rep.Global.Jobs, rep.Global.Failed, rep.Global.Resubmits, used, fed.Size())
+		if *verbose {
+			for i := 0; i < fed.Size(); i++ {
+				tl := fed.Telemetry(i)
+				fmt.Printf("    %-8s dispatched=%-5d observed=%-5d rebrokered=%-3d submitEWMA=%-8v queueEWMA=%v\n",
+					fed.GridName(i), tl.Dispatched, tl.Observed, tl.Rebrokered,
+					tl.SubmitEWMA.Round(time.Second), tl.QueueEWMA.Round(time.Second))
+			}
+		}
+	}
+}
+
+// pct returns the upper nearest-rank percentile of sorted durations.
+func pct(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[len(sorted)*p/100]
+}
+
+// parsePolicy resolves a CLI policy name, rejecting a pinned index
+// outside the federation (Pinned would clamp it to grid 0 and the table
+// row would silently describe a different experiment).
+func parsePolicy(name string, grids int) (federation.Policy, error) {
+	switch {
+	case name == "ranked":
+		return federation.Ranked(), nil
+	case name == "backlog":
+		return federation.LeastBacklog(), nil
+	case name == "rr":
+		return federation.RoundRobin(), nil
+	case strings.HasPrefix(name, "pinned:"):
+		idx, err := strconv.Atoi(strings.TrimPrefix(name, "pinned:"))
+		if err != nil {
+			return nil, fmt.Errorf("bad pinned index in %q", name)
+		}
+		if idx < 0 || idx >= grids {
+			return nil, fmt.Errorf("pinned index %d outside the %d-grid federation", idx, grids)
+		}
+		return federation.Pinned(idx), nil
+	}
+	return nil, fmt.Errorf("unknown policy %q (want ranked|backlog|rr|pinned:N)", name)
+}

@@ -1,8 +1,11 @@
 // Package campaign runs multi-tenant enactment campaigns: M workflows,
-// each with its own enactor and optimization options, contending for one
-// shared grid — the regime the paper's findings live in, where "the
-// increasing load of the middleware services on a production
+// each with its own enactor and optimization options, contending for a
+// shared infrastructure — the regime the paper's findings live in, where
+// "the increasing load of the middleware services on a production
 // infrastructure cannot be neglected" because many users submit at once.
+// The infrastructure is a Site: one shared grid.Grid (Run, RunOn) or a
+// multi-grid federation.Federation whose broker policy spreads each
+// tenant's jobs across member grids (RunFederated).
 //
 // Each tenant gets its own core.Enactor (independent Options, its own
 // workflow and input set) and a grid.Tenant submission handle; all
@@ -32,18 +35,82 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/federation"
 	"repro/internal/grid"
 	"repro/internal/model"
+	"repro/internal/services"
 	"repro/internal/sim"
 	"repro/internal/workflow"
 )
+
+// Handle is one tenant's view of the infrastructure a campaign enacts on:
+// a submission target (services.Submitter, so wrapper-backed services
+// created on the handle submit as the tenant) plus the tenant's own
+// record partition and statistics, which is all the campaign layer ever
+// reads — the adaptive-granularity loop in particular observes only this
+// partition, never global infrastructure stats, so one tenant's burst
+// cannot distort another's retuning. Both *grid.Tenant (shared single
+// grid) and *federation.Tenant (brokered multi-grid) satisfy it.
+type Handle interface {
+	services.Submitter
+	// Name returns the tenant's name.
+	Name() string
+	// Engine returns the simulation engine, for builders that create
+	// tenant-local services.
+	Engine() *sim.Engine
+	// Records returns the tenant's job records, in submission order.
+	Records() []*grid.JobRecord
+	// Overheads computes overhead statistics over the tenant's jobs only.
+	Overheads() grid.OverheadStats
+	// Phases computes per-phase latency means over the tenant's completed
+	// jobs only.
+	Phases() grid.PhaseStats
+}
+
+// Site is the infrastructure a campaign enacts on: a provider of tenant
+// handles plus the campaign-global aggregates the report carries. Wrap a
+// single shared grid with OnGrid or a federation with OnFederation.
+type Site interface {
+	// Tenant returns the (memoized) handle for the named tenant.
+	Tenant(name string) Handle
+	// TotalNodes returns the site's worker-node capacity, the default
+	// concurrency estimate for adaptive granularity.
+	TotalNodes() int
+	// Overheads aggregates overhead statistics over every tenant's jobs.
+	Overheads() grid.OverheadStats
+	// Phases aggregates per-phase latency means over every tenant's
+	// completed jobs.
+	Phases() grid.PhaseStats
+}
+
+// OnGrid adapts one shared grid into a campaign Site.
+func OnGrid(g *grid.Grid) Site { return gridSite{g} }
+
+type gridSite struct{ g *grid.Grid }
+
+func (s gridSite) Tenant(name string) Handle     { return s.g.Tenant(name) }
+func (s gridSite) TotalNodes() int               { return s.g.TotalNodes() }
+func (s gridSite) Overheads() grid.OverheadStats { return s.g.Overheads() }
+func (s gridSite) Phases() grid.PhaseStats       { return s.g.Phases() }
+
+// OnFederation adapts a multi-grid federation into a campaign Site: each
+// tenant's jobs are brokered across the member grids by the federation's
+// policy.
+func OnFederation(f *federation.Federation) Site { return fedSite{f} }
+
+type fedSite struct{ f *federation.Federation }
+
+func (s fedSite) Tenant(name string) Handle     { return s.f.Tenant(name) }
+func (s fedSite) TotalNodes() int               { return s.f.TotalNodes() }
+func (s fedSite) Overheads() grid.OverheadStats { return s.f.Overheads() }
+func (s fedSite) Phases() grid.PhaseStats       { return s.f.Phases() }
 
 // BuildFunc constructs one tenant's workflow and input set against the
 // tenant's submission handle: wrapper-backed services created on the
 // handle submit as that tenant, which is what keeps per-tenant accounting
 // disjoint. The builder may register the tenant's input files in the
-// shared catalog (via t.Grid().Catalog()).
-type BuildFunc func(t *grid.Tenant) (*workflow.Workflow, map[string][]string, error)
+// shared catalog (via t.Catalog()).
+type BuildFunc func(t Handle) (*workflow.Workflow, map[string][]string, error)
 
 // AdaptiveGranularity opts a tenant into mid-campaign job-granularity
 // retuning.
@@ -143,7 +210,7 @@ func Run(cfg Config) (*Report, error) {
 // tenantRun is the mutable state of one tenant during a campaign.
 type tenantRun struct {
 	spec        *TenantSpec
-	tenant      *grid.Tenant
+	tenant      Handle
 	en          *core.Enactor
 	inputs      map[string][]string
 	res         *core.Result
@@ -153,12 +220,26 @@ type tenantRun struct {
 	adaptations []Adaptation
 }
 
-// RunOn enacts the tenants on an existing engine and grid, stepping the
+// RunOn enacts the tenants on an existing engine and shared grid. It is
+// RunSite over OnGrid(g), kept as the single-grid entry point for callers
+// that want to inspect the grid afterwards or share it with other
+// activity.
+func RunOn(eng *sim.Engine, g *grid.Grid, specs []TenantSpec) (*Report, error) {
+	return RunSite(eng, OnGrid(g), specs)
+}
+
+// RunFederated enacts the tenants on an existing engine and federation:
+// every tenant's jobs are brokered across the federation's member grids
+// by its policy. It is RunSite over OnFederation(f).
+func RunFederated(eng *sim.Engine, f *federation.Federation, specs []TenantSpec) (*Report, error) {
+	return RunSite(eng, OnFederation(f), specs)
+}
+
+// RunSite enacts the tenants on an existing engine and site, stepping the
 // engine until every tenant reaches a terminal state (or the event queue
 // drains, which marks the unfinished tenants as stalled). It is the
-// building block for callers that want to inspect the grid afterwards or
-// share it with other activity.
-func RunOn(eng *sim.Engine, g *grid.Grid, specs []TenantSpec) (*Report, error) {
+// building block RunOn and RunFederated share.
+func RunSite(eng *sim.Engine, site Site, specs []TenantSpec) (*Report, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("campaign: no tenants")
 	}
@@ -189,7 +270,7 @@ func RunOn(eng *sim.Engine, g *grid.Grid, specs []TenantSpec) (*Report, error) {
 	pendingTicks := 0 // adapt ticks currently scheduled, across all tenants
 	for i := range specs {
 		ts := &specs[i]
-		th := g.Tenant(ts.Name)
+		th := site.Tenant(ts.Name)
 		wf, inputs, err := ts.Build(th)
 		if err != nil {
 			return nil, fmt.Errorf("campaign: tenant %s: %w", ts.Name, err)
@@ -215,7 +296,7 @@ func RunOn(eng *sim.Engine, g *grid.Grid, specs []TenantSpec) (*Report, error) {
 				remaining--
 			}
 			if r.spec.Adapt != nil && !r.finished {
-				scheduleAdapt(eng, g, r, len(specs), campaignStart, &pendingTicks)
+				scheduleAdapt(eng, site, r, len(specs), campaignStart, &pendingTicks)
 			}
 		})
 	}
@@ -247,8 +328,8 @@ func RunOn(eng *sim.Engine, g *grid.Grid, specs []TenantSpec) (*Report, error) {
 		}
 		rep.Tenants[i] = tr
 	}
-	rep.Global = g.Overheads()
-	rep.GlobalPhases = g.Phases()
+	rep.Global = site.Overheads()
+	rep.GlobalPhases = site.Phases()
 	return rep, nil
 }
 
@@ -258,7 +339,7 @@ func RunOn(eng *sim.Engine, g *grid.Grid, specs []TenantSpec) (*Report, error) {
 // are pending, so a stalled tenant's loop cannot keep the engine alive
 // forever (RunOn would otherwise never see the queue drain and never
 // report the stall).
-func scheduleAdapt(eng *sim.Engine, g *grid.Grid, r *tenantRun, nTenants int, campaignStart sim.Time, pendingTicks *int) {
+func scheduleAdapt(eng *sim.Engine, site Site, r *tenantRun, nTenants int, campaignStart sim.Time, pendingTicks *int) {
 	var tick func()
 	arm := func() {
 		*pendingTicks++
@@ -269,7 +350,7 @@ func scheduleAdapt(eng *sim.Engine, g *grid.Grid, r *tenantRun, nTenants int, ca
 		if r.finished {
 			return
 		}
-		if a, ok := retune(g, r, nTenants, campaignStart); ok {
+		if a, ok := retune(eng, site, r, nTenants, campaignStart); ok {
 			r.adaptations = append(r.adaptations, a)
 		}
 		// Pending() excludes this already-fired tick; if nothing beyond
@@ -288,9 +369,9 @@ func scheduleAdapt(eng *sim.Engine, g *grid.Grid, r *tenantRun, nTenants int, ca
 // statically-expected invocations, fed into the Sec. 5.4 batching model.
 // It reports false when there is nothing to observe or nothing left to
 // retune.
-func retune(g *grid.Grid, r *tenantRun, nTenants int, campaignStart sim.Time) (Adaptation, bool) {
+func retune(eng *sim.Engine, site Site, r *tenantRun, nTenants int, campaignStart sim.Time) (Adaptation, bool) {
 	ad := r.spec.Adapt
-	jobs, overhead, submit, compute := observe(g, r.spec.Name)
+	jobs, overhead, submit, compute := observe(r.tenant)
 	if jobs == 0 {
 		return Adaptation{}, false
 	}
@@ -304,7 +385,7 @@ func retune(g *grid.Grid, r *tenantRun, nTenants int, campaignStart sim.Time) (A
 	}
 	slots := ad.Slots
 	if slots <= 0 {
-		slots = g.TotalNodes() / nTenants
+		slots = site.TotalNodes() / nTenants
 		if slots < 1 {
 			slots = 1
 		}
@@ -331,21 +412,27 @@ func retune(g *grid.Grid, r *tenantRun, nTenants int, campaignStart sim.Time) (A
 	}
 	r.en.SetDataGroupSize(k)
 	return Adaptation{
-		At:        time.Duration(g.Eng.Now() - campaignStart),
+		At:        time.Duration(eng.Now() - campaignStart),
 		Batch:     k,
 		Predicted: pred,
 		Overhead:  overhead,
 	}, true
 }
 
-// observe scans the global record slice once for the tenant's completed
+// observe scans the tenant's own record partition once for its completed
 // jobs, returning their count and mean grid overhead, UI submit phase and
 // on-node span (compute plus output staging) — the three observations the
-// granularity model feeds on, without the three separate record sweeps of
-// Overheads/Phases/Records.
-func observe(g *grid.Grid, tenant string) (jobs int, overhead, submit, compute time.Duration) {
-	for _, rec := range g.Records() {
-		if rec.Tenant != tenant || rec.Status != grid.StatusCompleted {
+// granularity model feeds on, without the three separate sweeps of
+// Overheads/Phases. Reading through the handle (not global infrastructure
+// stats) matters twice over: on a shared grid it keeps a bursty
+// co-tenant's inflated overheads out of this tenant's retuning, and on a
+// federation a single grid's record list would miss the jobs the broker
+// sent to other grids. Handle.Records materializes the partition (one
+// transient O(tenant jobs) slice per retune tick); in exchange the scan
+// itself no longer walks every other tenant's records.
+func observe(t Handle) (jobs int, overhead, submit, compute time.Duration) {
+	for _, rec := range t.Records() {
+		if rec.Status != grid.StatusCompleted {
 			continue
 		}
 		jobs++

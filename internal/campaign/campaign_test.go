@@ -328,7 +328,7 @@ func TestCampaignTenantFailureIsIsolated(t *testing.T) {
 	cfg := Config{Grid: testGrid(16)}
 	cfg.Tenants = []TenantSpec{
 		{Name: "ok", Opts: spdp(), Build: SyntheticChain(2, 3, 10*time.Second, 1)},
-		{Name: "doomed", Opts: spdp(), Build: func(th *grid.Tenant) (*workflow.Workflow, map[string][]string, error) {
+		{Name: "doomed", Opts: spdp(), Build: func(th Handle) (*workflow.Workflow, map[string][]string, error) {
 			wf, _, err := SyntheticChain(1, 1, 10*time.Second, 1)(th)
 			if err != nil {
 				return nil, nil, err
@@ -429,7 +429,7 @@ func TestSetDataGroupSizeBeforeStart(t *testing.T) {
 func TestCampaignFailedTenantStopsSubmitting(t *testing.T) {
 	cfg := Config{Grid: testGrid(32)}
 	cfg.Tenants = []TenantSpec{
-		{Name: "doomed", Opts: spdp(), Build: func(th *grid.Tenant) (*workflow.Workflow, map[string][]string, error) {
+		{Name: "doomed", Opts: spdp(), Build: func(th Handle) (*workflow.Workflow, map[string][]string, error) {
 			wf, _, err := SyntheticChain(4, 20, 10*time.Second, 1)(th)
 			if err != nil {
 				return nil, nil, err
@@ -483,7 +483,7 @@ func TestCampaignBatchedFailureStopsSubmitting(t *testing.T) {
 			DataGroupSize:      3,
 			DataGroupWindow:    6 * time.Hour,
 		},
-		Build: func(th *grid.Tenant) (*workflow.Workflow, map[string][]string, error) {
+		Build: func(th Handle) (*workflow.Workflow, map[string][]string, error) {
 			wf, inputs, err := SyntheticChain(1, 5, 10*time.Second, 1)(th)
 			if err != nil {
 				return nil, nil, err
@@ -514,8 +514,8 @@ func TestCampaignBatchedFailureStopsSubmitting(t *testing.T) {
 // workflow stalls must not keep the engine alive through its own retuning
 // ticks — RunOn has to return and report the stall.
 func TestCampaignStalledAdaptiveTenantTerminates(t *testing.T) {
-	stalling := func(th *grid.Tenant) (*workflow.Workflow, map[string][]string, error) {
-		eng := th.Grid().Eng
+	stalling := func(th Handle) (*workflow.Workflow, map[string][]string, error) {
+		eng := th.Engine()
 		w := workflow.New("stall")
 		w.AddSource("src")
 		half := services.NewLocal(eng, "half", 1<<20, services.ConstantRuntime(time.Second),

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"repro/internal/descriptor"
-	"repro/internal/grid"
 	"repro/internal/services"
 	"repro/internal/workflow"
 )
@@ -20,7 +19,7 @@ import (
 // in their Options, so contention effects are attributable to scheduling,
 // not to workload shape.
 func SyntheticChain(n, items int, runtime time.Duration, fileMB float64) BuildFunc {
-	return func(t *grid.Tenant) (*workflow.Workflow, map[string][]string, error) {
+	return func(t Handle) (*workflow.Workflow, map[string][]string, error) {
 		if n < 1 || items < 1 {
 			return nil, nil, fmt.Errorf("campaign: synthetic chain needs at least one stage and one item")
 		}
@@ -49,7 +48,7 @@ func SyntheticChain(n, items int, runtime time.Duration, fileMB float64) BuildFu
 		inputs := make([]string, items)
 		for i := range inputs {
 			gfn := fmt.Sprintf("gfn://%s/input%04d", tn, i)
-			t.Grid().Catalog().Register(gfn, fileMB)
+			t.Catalog().Register(gfn, fileMB)
 			inputs[i] = gfn
 		}
 		return wf, map[string][]string{"src": inputs}, nil

@@ -1,0 +1,145 @@
+// Package doccheck enforces the documentation contract on the tenancy and
+// brokering API surface: every exported identifier of the checked packages
+// must carry a doc comment that starts with the identifier's name (a
+// leading article is allowed) — the golint/revive "exported" rule,
+// implemented on go/ast so CI needs no external linter. It runs as an
+// ordinary test, so `go test ./...` (tier-1) and the CI test job enforce
+// it on every change.
+package doccheck
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+// checkedPackages is the enforced surface: the grid tenancy model, the
+// campaign layer, the federation broker, the service/submitter layer and
+// the enactor API.
+var checkedPackages = []string{
+	"../campaign",
+	"../federation",
+	"../grid",
+	"../services",
+	"../core",
+}
+
+func TestExportedIdentifiersAreDocumented(t *testing.T) {
+	for _, dir := range checkedPackages {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, pkg := range pkgs {
+			for _, file := range pkg.Files {
+				checkFile(t, fset, file)
+			}
+		}
+	}
+}
+
+func checkFile(t *testing.T, fset *token.FileSet, file *ast.File) {
+	t.Helper()
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !receiverExported(d) {
+				continue
+			}
+			requireDoc(t, fset, d.Pos(), d.Name.Name, d.Doc, true)
+		case *ast.GenDecl:
+			if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+				continue
+			}
+			// A documented block (e.g. a const group sharing one comment)
+			// covers its specs; the prefix rule then applies per spec only
+			// when the spec carries its own comment.
+			blockDoc := d.Doc != nil
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if !s.Name.IsExported() {
+						continue
+					}
+					doc := s.Doc
+					if doc == nil && len(d.Specs) == 1 {
+						doc = d.Doc
+					}
+					if doc == nil && blockDoc {
+						continue // covered by the block comment
+					}
+					requireDoc(t, fset, s.Pos(), s.Name.Name, doc, true)
+				case *ast.ValueSpec:
+					for _, name := range s.Names {
+						if !name.IsExported() {
+							continue
+						}
+						doc := s.Doc
+						if doc == nil && len(d.Specs) == 1 {
+							doc = d.Doc
+						}
+						if doc == nil && blockDoc {
+							continue // covered by the block comment
+						}
+						requireDoc(t, fset, name.Pos(), name.Name, doc, true)
+					}
+				}
+			}
+		}
+	}
+}
+
+// receiverExported reports whether a method's receiver type is exported
+// (functions without receivers count as exported scope). Methods on
+// unexported types are internal plumbing even when their names are
+// capitalized for interface satisfaction.
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	typ := d.Recv.List[0].Type
+	for {
+		switch tt := typ.(type) {
+		case *ast.StarExpr:
+			typ = tt.X
+		case *ast.IndexExpr:
+			typ = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// requireDoc fails the test when the doc comment is missing or (if
+// checkPrefix) does not begin with the identifier's name, modulo a
+// leading article.
+func requireDoc(t *testing.T, fset *token.FileSet, pos token.Pos, name string, doc *ast.CommentGroup, checkPrefix bool) {
+	t.Helper()
+	where := fset.Position(pos)
+	if doc == nil || strings.TrimSpace(doc.Text()) == "" {
+		t.Errorf("%s: exported identifier %s has no doc comment", where, name)
+		return
+	}
+	if !checkPrefix {
+		return
+	}
+	text := strings.TrimSpace(doc.Text())
+	for _, article := range []string{"A ", "An ", "The "} {
+		if strings.HasPrefix(text, article) {
+			text = text[len(article):]
+			break
+		}
+	}
+	if !strings.HasPrefix(text, name) {
+		t.Errorf("%s: doc comment of %s should start with %q (golint exported rule); it starts with %.40q",
+			where, name, name, text)
+	}
+}

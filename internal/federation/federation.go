@@ -1,0 +1,394 @@
+// Package federation federates several independently-configured simulated
+// grids behind a single submission handle, extending the paper's
+// single-grid enactment model to the multi-grid brokering scenario of
+// Venugopal et al.'s Gridbus broker: a tenant that can dispatch to N
+// infrastructures must weigh exactly the overheads the paper measures —
+// serialized submission latency, batch-queue wait, stage-in — when
+// choosing where each job goes.
+//
+// A Federation owns N grid.Grids (heterogeneous cluster counts, UI
+// latencies, load factors, seeds) on one shared simulation engine and one
+// shared replica catalog, so a workflow whose consecutive stages land on
+// different grids still resolves its data dependencies. Both *Federation
+// and its per-tenant handles (*Tenant) satisfy services.Submitter:
+// wrapper-backed, grouped and batched services dispatch across grids
+// transparently, and campaigns back whole multi-tenant runs with a
+// federation (campaign.RunFederated).
+//
+// A pluggable broker Policy picks the target grid per submitted job:
+// round-robin, least-backlog (instantaneous occupancy), or overhead-ranked
+// — scoring each grid by EWMAs of its observed submission and queueing
+// phases with an additive rank floor so an uncharacterized federation
+// degrades to UI-backlog spreading instead of herding (see Ranked).
+// Terminal
+// failures may be re-brokered: a job that exhausts its retries on one grid
+// is resubmitted to another (Config.Rebroker), the cross-grid analogue of
+// the grid's own transparent resubmission.
+//
+// Accounting partitions exactly as in the single-grid tenancy model:
+// every dispatched attempt is recorded once, per-grid stats
+// (Grid.Overheads of each member) and per-tenant stats (Tenant.Overheads
+// across grids) both partition the federation-level aggregates
+// (Federation.Overheads).
+//
+// Everything runs inside the single-threaded engine, so federated runs are
+// exactly as deterministic as solo ones: same configs, same seeds, same
+// policy — same per-tenant makespans and per-grid dispatch counts (pinned
+// by golden tests).
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/sim"
+)
+
+// GridSpec names and configures one member grid of a federation.
+type GridSpec struct {
+	// Name identifies the grid in views, telemetry and reports. Empty
+	// names are auto-assigned "gridNN" by New.
+	Name string
+	// Config is the member grid's full infrastructure model. Members are
+	// independent: cluster sets, overhead distributions, failure models
+	// and seeds may all differ.
+	Config grid.Config
+}
+
+// Config assembles a federation.
+type Config struct {
+	// Grids are the member infrastructures, in brokering order (policies
+	// resolve ties towards lower indices).
+	Grids []GridSpec
+	// Policy picks the target grid per submission. Nil means Ranked().
+	Policy Policy
+	// Rebroker is the number of times a terminally failed job may be
+	// resubmitted to a different grid before the failure is reported to
+	// the caller (0 disables cross-grid resubmission). Jobs that failed
+	// permanently for missing catalog inputs are never re-brokered — the
+	// catalog is shared, so the file is missing everywhere.
+	Rebroker int
+	// EWMAAlpha is the smoothing factor of the per-grid overhead
+	// telemetry (0 < alpha ≤ 1); larger values track recent jobs more
+	// aggressively. Zero means 0.2.
+	EWMAAlpha float64
+}
+
+// Telemetry is the federation's smoothed overhead view of one member
+// grid, maintained from the terminal records of the jobs the federation
+// dispatched there. It is the observational input of the Ranked policy.
+type Telemetry struct {
+	// Dispatched counts jobs the broker sent to this grid (re-brokered
+	// arrivals included).
+	Dispatched int
+	// Observed counts completed jobs that updated the EWMAs.
+	Observed int
+	// Rebrokered counts jobs moved off this grid after it failed them
+	// terminally.
+	Rebrokered int
+	// SubmitEWMA smooths the UI submission phase (Submitted→Accepted) of
+	// completed jobs.
+	SubmitEWMA time.Duration
+	// QueueEWMA smooths the queueing phase (Matched→Started: batch-queue
+	// wait plus LRMS dispatch) of completed jobs.
+	QueueEWMA time.Duration
+}
+
+// Federation is a set of member grids behind one brokered submission
+// handle, bound to a single simulation engine and replica catalog.
+type Federation struct {
+	eng     *sim.Engine
+	cfg     Config
+	grids   []*grid.Grid
+	names   []string
+	policy  Policy
+	alpha   float64
+	catalog *grid.Catalog
+	tenants map[string]*Tenant
+	telem   []Telemetry
+	// records holds every dispatched attempt in dispatch order, across
+	// grids and tenants — the federation-level aggregate the per-grid and
+	// per-tenant views partition.
+	records []*grid.JobRecord
+	views   []GridView // scratch, rebuilt per pick
+}
+
+// New builds a federation of the configured grids on the engine, sharing
+// one fresh replica catalog across all members.
+func New(eng *sim.Engine, cfg Config) (*Federation, error) {
+	if len(cfg.Grids) == 0 {
+		return nil, errors.New("federation: config has no grids")
+	}
+	if cfg.Rebroker < 0 {
+		return nil, errors.New("federation: negative Rebroker")
+	}
+	if cfg.EWMAAlpha < 0 || cfg.EWMAAlpha > 1 {
+		return nil, fmt.Errorf("federation: EWMAAlpha %v outside (0, 1]", cfg.EWMAAlpha)
+	}
+	f := &Federation{
+		eng:     eng,
+		cfg:     cfg,
+		policy:  cfg.Policy,
+		alpha:   cfg.EWMAAlpha,
+		catalog: grid.NewCatalog(),
+		tenants: make(map[string]*Tenant),
+		telem:   make([]Telemetry, len(cfg.Grids)),
+		views:   make([]GridView, len(cfg.Grids)),
+	}
+	if f.policy == nil {
+		f.policy = Ranked()
+	}
+	if f.alpha == 0 {
+		f.alpha = 0.2
+	}
+	seen := make(map[string]bool, len(cfg.Grids))
+	for i, gs := range cfg.Grids {
+		name := gs.Name
+		if name == "" {
+			name = fmt.Sprintf("grid%02d", i)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("federation: duplicate grid name %q", name)
+		}
+		seen[name] = true
+		if len(gs.Config.Clusters) == 0 {
+			return nil, fmt.Errorf("federation: grid %q has no clusters", name)
+		}
+		f.names = append(f.names, name)
+		f.grids = append(f.grids, grid.NewWithCatalog(eng, gs.Config, f.catalog))
+	}
+	return f, nil
+}
+
+// HeterogeneousSpecs returns n member-grid specs derived from the default
+// production-grid model with deliberately skewed capacity and middleware
+// quality — the standard testbed of the federated benchmark, CLI and
+// examples. Grid i keeps the default cluster set truncated by 2i clusters
+// (never below two), pays (i+1)× the default UI submission latency, seeds
+// its random streams at seed+i, and generates background load for four
+// virtual days (enough to cover campaign spans while keeping the event
+// count bounded).
+func HeterogeneousSpecs(n int, seed uint64) []GridSpec {
+	specs := make([]GridSpec, n)
+	for i := 0; i < n; i++ {
+		cfg := grid.DefaultConfig()
+		keep := len(cfg.Clusters) - 2*i
+		if keep < 2 {
+			keep = 2
+		}
+		cfg.Clusters = cfg.Clusters[:keep:keep]
+		cfg.Overheads.SubmitMean *= time.Duration(i + 1)
+		cfg.Seed = seed + uint64(i)
+		cfg.BackgroundHorizon = 4 * 24 * time.Hour
+		specs[i] = GridSpec{Name: fmt.Sprintf("grid%02d", i), Config: cfg}
+	}
+	return specs
+}
+
+// Engine returns the shared simulation engine.
+func (f *Federation) Engine() *sim.Engine { return f.eng }
+
+// Catalog returns the replica catalog shared by every member grid.
+// Together with Submit it makes *Federation satisfy services.Submitter.
+func (f *Federation) Catalog() *grid.Catalog { return f.catalog }
+
+// Policy returns the broker policy in use.
+func (f *Federation) Policy() Policy { return f.policy }
+
+// Size returns the number of member grids.
+func (f *Federation) Size() int { return len(f.grids) }
+
+// Grid returns member grid i (configuration order).
+func (f *Federation) Grid(i int) *grid.Grid { return f.grids[i] }
+
+// GridName returns the name of member grid i.
+func (f *Federation) GridName(i int) string { return f.names[i] }
+
+// Telemetry returns the federation's current overhead view of member
+// grid i.
+func (f *Federation) Telemetry(i int) Telemetry { return f.telem[i] }
+
+// TotalNodes returns the worker-node capacity across all member grids.
+func (f *Federation) TotalNodes() int {
+	n := 0
+	for _, g := range f.grids {
+		n += g.TotalNodes()
+	}
+	return n
+}
+
+// Records returns every job attempt the federation dispatched, in
+// dispatch order across grids and tenants. Records of in-flight jobs are
+// included and still mutating. A job re-brokered after a terminal failure
+// appears once per grid it was tried on; each attempt is accounted to the
+// grid that ran it, which is what keeps per-grid and federation-level
+// statistics partition-consistent.
+func (f *Federation) Records() []*grid.JobRecord { return f.records }
+
+// Overheads computes overhead statistics over every job dispatched
+// through the federation. Per-grid stats (Grid.Overheads of each member)
+// and per-tenant stats (Tenant.Overheads) both partition these aggregates:
+// job, failure and resubmission counts sum to the federation's.
+func (f *Federation) Overheads() grid.OverheadStats {
+	return grid.OverheadsOf(f.records)
+}
+
+// Phases computes the mean per-phase latencies over the federation's
+// completed jobs.
+func (f *Federation) Phases() grid.PhaseStats {
+	return grid.PhasesOf(f.records)
+}
+
+// Submit enters a job under the default (anonymous) tenant: the broker
+// policy picks a member grid and the job is submitted there. done fires
+// exactly once, in virtual time, at the job's terminal state; if the
+// chosen grid fails the job terminally and Config.Rebroker allows, the
+// job is transparently resubmitted to another grid first, so done only
+// sees the final outcome. The returned record is the first attempt's
+// (terminal state must be read from the callback's record — a re-brokered
+// job's final record is a different one, on a different grid).
+func (f *Federation) Submit(spec grid.JobSpec, done func(*grid.JobRecord)) *grid.JobRecord {
+	return f.submit("", spec, done)
+}
+
+func (f *Federation) submit(tenant string, spec grid.JobSpec, done func(*grid.JobRecord)) *grid.JobRecord {
+	return f.dispatch(tenant, spec, done, f.pick(-1), f.cfg.Rebroker)
+}
+
+// pick rebuilds the policy's views and asks it for a target grid,
+// validating the answer (an out-of-range pick is a policy bug and panics
+// rather than silently misrouting).
+func (f *Federation) pick(exclude int) int {
+	for i, g := range f.grids {
+		f.views[i] = GridView{Index: i, Name: f.names[i], Load: g.Load(), Telemetry: f.telem[i]}
+	}
+	idx := f.policy.Pick(f.views, exclude)
+	if idx < 0 || idx >= len(f.grids) {
+		panic(fmt.Sprintf("federation: policy %s picked grid %d of %d", f.policy.Name(), idx, len(f.grids)))
+	}
+	return idx
+}
+
+// dispatch submits one attempt to member grid idx and arms the re-broker:
+// on terminal failure with retries left, the policy picks another grid
+// (excluding the one that just failed) and the spec is resubmitted there
+// as a fresh job.
+func (f *Federation) dispatch(tenant string, spec grid.JobSpec, done func(*grid.JobRecord), idx, retries int) *grid.JobRecord {
+	f.telem[idx].Dispatched++
+	rec := f.grids[idx].Tenant(tenant).Submit(spec, func(r *grid.JobRecord) {
+		f.observe(idx, r)
+		if r.Status == grid.StatusFailed && retries > 0 && len(f.grids) > 1 && rebrokerable(r) {
+			f.telem[idx].Rebrokered++
+			f.dispatch(tenant, spec, done, f.pick(idx), retries-1)
+			return
+		}
+		done(r)
+	})
+	f.records = append(f.records, rec)
+	return rec
+}
+
+// rebrokerable reports whether another grid could plausibly run the job:
+// retry exhaustion is worth re-brokering (the failure was stochastic), a
+// missing catalog input is not (the catalog is shared — the file is
+// missing on every grid).
+func rebrokerable(r *grid.JobRecord) bool {
+	return !errors.Is(r.Err, grid.ErrNoSuchFile)
+}
+
+// observe folds a terminal record into the grid's overhead telemetry.
+// Only completed jobs carry trustworthy phase timestamps; failures update
+// nothing (their own cost surfaces through re-brokering counts and the
+// occupancy term instead).
+func (f *Federation) observe(idx int, r *grid.JobRecord) {
+	if r.Status != grid.StatusCompleted {
+		return
+	}
+	t := &f.telem[idx]
+	submit := time.Duration(r.Accepted - r.Submitted)
+	queue := time.Duration(r.Started - r.Matched)
+	if t.Observed == 0 {
+		t.SubmitEWMA, t.QueueEWMA = submit, queue
+	} else {
+		t.SubmitEWMA = ewma(t.SubmitEWMA, submit, f.alpha)
+		t.QueueEWMA = ewma(t.QueueEWMA, queue, f.alpha)
+	}
+	t.Observed++
+}
+
+func ewma(prev, obs time.Duration, alpha float64) time.Duration {
+	return time.Duration(alpha*float64(obs) + (1-alpha)*float64(prev))
+}
+
+// Tenant is a named submission handle on a federation: the multi-grid
+// analogue of grid.Tenant. Jobs submitted through it are brokered across
+// the member grids and tagged with the tenant's name on whichever grid
+// they land, so the tenant's accounting spans grids while each member
+// grid's fair-share gate still sees the tenant individually. Handles are
+// memoized: Federation.Tenant returns the same *Tenant for the same name,
+// so handle identity stands in for tenant identity (services.Grouped
+// relies on this).
+type Tenant struct {
+	f    *Federation
+	name string
+}
+
+// Tenant returns the submission handle for the named tenant, creating it
+// on first use. The empty name is the default tenant Federation.Submit
+// uses.
+func (f *Federation) Tenant(name string) *Tenant {
+	if t, ok := f.tenants[name]; ok {
+		return t
+	}
+	t := &Tenant{f: f, name: name}
+	f.tenants[name] = t
+	return t
+}
+
+// Name returns the tenant's name.
+func (t *Tenant) Name() string { return t.name }
+
+// Federation returns the underlying federation.
+func (t *Tenant) Federation() *Federation { return t.f }
+
+// Catalog returns the federation's shared replica catalog. Together with
+// Submit it makes *Tenant satisfy services.Submitter.
+func (t *Tenant) Catalog() *grid.Catalog { return t.f.catalog }
+
+// Engine returns the shared simulation engine (part of campaign.Handle).
+func (t *Tenant) Engine() *sim.Engine { return t.f.eng }
+
+// Submit enters a job tagged with this tenant. Semantics are those of
+// Federation.Submit; the only difference is the tenant tag carried onto
+// whichever grid the broker picks.
+func (t *Tenant) Submit(spec grid.JobSpec, done func(*grid.JobRecord)) *grid.JobRecord {
+	return t.f.submit(t.name, spec, done)
+}
+
+// Records returns this tenant's job records across all member grids, in
+// dispatch order. Records of in-flight jobs are included and still
+// mutating.
+func (t *Tenant) Records() []*grid.JobRecord {
+	var out []*grid.JobRecord
+	for _, r := range t.f.records {
+		if r.Tenant == t.name {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Overheads computes overhead statistics over this tenant's jobs only,
+// across all member grids. The per-tenant statistics of all tenants
+// partition the federation-level Federation.Overheads.
+func (t *Tenant) Overheads() grid.OverheadStats {
+	return grid.OverheadsOf(t.Records())
+}
+
+// Phases computes the mean per-phase latencies over this tenant's
+// completed jobs, across all member grids.
+func (t *Tenant) Phases() grid.PhaseStats {
+	return grid.PhasesOf(t.Records())
+}

@@ -1,0 +1,160 @@
+package federation
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// GridView is one grid's state as a broker policy sees it when picking a
+// submission target: a static identity, an instantaneous backlog snapshot,
+// and the smoothed overhead telemetry the federation maintains from
+// terminal job records. Views are rebuilt per pick, so policies observe
+// submissions they themselves caused earlier at the same virtual instant
+// (PendingSubmits grows synchronously with Submit).
+type GridView struct {
+	// Index is the grid's position in the federation's configuration.
+	Index int
+	// Name is the grid's configured (or auto-assigned) name.
+	Name string
+	// Load is the grid's current backlog snapshot.
+	Load grid.Load
+	// Telemetry is the federation's smoothed per-grid overhead view.
+	Telemetry Telemetry
+}
+
+// Policy decides which member grid receives one job submission. Picks must
+// be deterministic functions of the views and the policy's own state —
+// federations run inside the single-threaded simulation engine and golden
+// tests pin their schedules. exclude is the index of a grid the job must
+// avoid (re-brokering after that grid failed it; -1 when unconstrained);
+// a policy may still return the excluded index when no alternative exists.
+type Policy interface {
+	// Name identifies the policy in reports and CLI tables.
+	Name() string
+	// Pick returns the index of the target grid.
+	Pick(views []GridView, exclude int) int
+}
+
+// RoundRobin returns the baseline policy: grids take turns in
+// configuration order, one submission each, skipping only an excluded
+// grid. It ignores every load and overhead signal — the control every
+// informed policy has to beat.
+func RoundRobin() Policy { return &roundRobin{} }
+
+type roundRobin struct{ next int }
+
+func (p *roundRobin) Name() string { return "round-robin" }
+
+func (p *roundRobin) Pick(views []GridView, exclude int) int {
+	n := len(views)
+	idx := p.next % n
+	if idx == exclude && n > 1 {
+		idx = (idx + 1) % n
+	}
+	p.next = (idx + 1) % n
+	return idx
+}
+
+// LeastBacklog returns the policy that submits to the grid with the lowest
+// instantaneous occupancy (grid.Load.Occupancy: UI backlog + batch-queue
+// length + busy nodes, per worker node). It reacts to congestion it can
+// see but is blind to middleware quality: a grid with a slow but
+// lightly-queued UI looks as good as a fast one. Ties resolve to the
+// lowest index.
+func LeastBacklog() Policy { return leastBacklog{} }
+
+type leastBacklog struct{}
+
+func (leastBacklog) Name() string { return "least-backlog" }
+
+func (leastBacklog) Pick(views []GridView, exclude int) int {
+	best, bestScore := -1, 0.0
+	for _, v := range views {
+		if v.Index == exclude && len(views) > 1 {
+			continue
+		}
+		score := v.Load.Occupancy()
+		if best < 0 || score < bestScore {
+			best, bestScore = v.Index, score
+		}
+	}
+	return best
+}
+
+// rankFloor is the additive floor of the overhead-ranked policy, in
+// seconds. It plays exactly the role of the cluster ranker's rankFloor
+// (internal/grid/cluster.go): on a fresh federation every grid's observed
+// overhead is zero, and a bare overhead×backlog product would rank every
+// idle grid exactly 0.0 — the multiplicative backlog terms would be dead
+// and the strict argmin would starve every grid but the first. Adding the
+// floor before scaling makes the unobserved rank the backlog signal
+// itself, so an uncharacterized federation degrades to backlog spreading
+// instead of herding onto grid 0; once real observations accumulate
+// (overheads are minutes, the floor is one second) the observed terms
+// dominate.
+const rankFloor = 1.0
+
+// Ranked returns the overhead-ranked policy. Each grid is scored by the
+// wait a new job should expect there, estimated from the grid's observed
+// per-grid overheads — the EWMAs of the UI submission phase and of the
+// batch-queue phase — each scaled by the backlog currently in front of
+// that phase:
+//
+//	rank = (submitEWMA + rankFloor) × (1 + pendingSubmits)
+//	     + queueEWMA × (1 + queuedJobs/nodes)
+//
+// and the submission goes to the argmin. The UI term multiplies by the
+// absolute UI backlog because submission is serialized — every pending
+// request costs a full submit latency — while the queue term normalizes
+// by capacity, since batch queues drain in parallel across worker nodes.
+// These are the components of the paper's grid overhead a broker can
+// actually influence by choosing a different grid (staging depends on the
+// data, matchmaking is paid wherever the job lands). Ties resolve to the
+// lowest index.
+func Ranked() Policy { return ranked{} }
+
+type ranked struct{}
+
+func (ranked) Name() string { return "overhead-ranked" }
+
+func (ranked) Pick(views []GridView, exclude int) int {
+	best, bestScore := -1, 0.0
+	for _, v := range views {
+		if v.Index == exclude && len(views) > 1 {
+			continue
+		}
+		queued := float64(v.Load.QueuedJobs)
+		if v.Load.TotalNodes > 0 {
+			queued /= float64(v.Load.TotalNodes)
+		}
+		score := (v.Telemetry.SubmitEWMA.Seconds()+rankFloor)*(1+float64(v.Load.PendingSubmits)) +
+			v.Telemetry.QueueEWMA.Seconds()*(1+queued)
+		if best < 0 || score < bestScore {
+			best, bestScore = v.Index, score
+		}
+	}
+	return best
+}
+
+// Pinned returns the degenerate policy that sends every submission to one
+// grid — the single-grid baseline federated scenarios are measured
+// against ("the same load pinned to the busiest grid"). When the pinned
+// grid is excluded (it just failed the job) and an alternative exists, the
+// next grid in configuration order is used.
+func Pinned(index int) Policy { return pinned{index} }
+
+type pinned struct{ index int }
+
+func (p pinned) Name() string { return fmt.Sprintf("pinned:%d", p.index) }
+
+func (p pinned) Pick(views []GridView, exclude int) int {
+	idx := p.index
+	if idx < 0 || idx >= len(views) {
+		idx = 0
+	}
+	if idx == exclude && len(views) > 1 {
+		idx = (idx + 1) % len(views)
+	}
+	return idx
+}

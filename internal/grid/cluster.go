@@ -180,8 +180,10 @@ type FileError struct {
 	Err  error
 }
 
+// Error renders the job name, file name and underlying cause.
 func (e *FileError) Error() string {
 	return "grid: job " + e.Job + ": file " + e.File + ": " + e.Err.Error()
 }
 
+// Unwrap returns the underlying cause (e.g. ErrNoSuchFile), for errors.Is.
 func (e *FileError) Unwrap() error { return e.Err }

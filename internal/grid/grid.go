@@ -189,19 +189,33 @@ type Grid struct {
 	uiBusy     bool
 }
 
-// New builds a grid on the engine from the configuration.
+// New builds a grid on the engine from the configuration, with its own
+// empty replica catalog.
 func New(eng *sim.Engine, cfg Config) *Grid {
+	return NewWithCatalog(eng, cfg, nil)
+}
+
+// NewWithCatalog builds a grid on the engine from the configuration,
+// backed by the given replica catalog. A nil catalog means a fresh empty
+// one (the New behaviour). Sharing one catalog across several grids models
+// a federated replica catalog: outputs registered by a job on one grid are
+// immediately stageable by jobs on every other grid, which is what lets a
+// federation broker consecutive workflow stages to different grids.
+func NewWithCatalog(eng *sim.Engine, cfg Config, cat *Catalog) *Grid {
 	if len(cfg.Clusters) == 0 {
 		panic("grid: config has no clusters")
 	}
 	if cfg.BrokerSlots <= 0 {
 		cfg.BrokerSlots = 1
 	}
+	if cat == nil {
+		cat = NewCatalog()
+	}
 	g := &Grid{
 		Eng:       eng,
 		cfg:       cfg,
 		broker:    sim.NewResource(eng, cfg.BrokerSlots),
-		catalog:   NewCatalog(),
+		catalog:   cat,
 		rnd:       rng.New(cfg.Seed),
 		tenants:   make(map[string]*Tenant),
 		subQueues: make(map[string]*submitQueue),
@@ -216,13 +230,11 @@ func New(eng *sim.Engine, cfg Config) *Grid {
 	return g
 }
 
-// Catalog returns the grid's replica catalog.
+// Catalog returns the grid's replica catalog (possibly shared with other
+// grids of a federation — see NewWithCatalog). Together with Submit it
+// makes *Grid satisfy services.Submitter, so single-workflow code passes
+// the grid where campaigns pass a tenant handle.
 func (g *Grid) Catalog() *Catalog { return g.catalog }
-
-// Grid returns the grid itself. It exists so *Grid satisfies the same
-// submission-target interfaces a *Tenant does (services.Submitter), letting
-// single-workflow code pass the grid where campaigns pass a tenant handle.
-func (g *Grid) Grid() *Grid { return g }
 
 // Config returns the configuration the grid was built from.
 func (g *Grid) Config() Config { return g.cfg }
@@ -257,6 +269,43 @@ func (g *Grid) QueuedJobs() int {
 		n += c.nodes.Waiting()
 	}
 	return n
+}
+
+// Load is a point-in-time backlog snapshot of one grid — the signal set a
+// federation broker ranks grids by. All counts are instantaneous virtual-
+// time observations, cheap enough to take per submission.
+type Load struct {
+	// PendingSubmits is the UI backlog: submissions accepted by the gate
+	// whose UI latency has not yet been paid (including the one in
+	// service).
+	PendingSubmits int
+	// QueuedJobs counts jobs waiting in the computing elements' batch
+	// queues.
+	QueuedJobs int
+	// BusyNodes counts occupied worker nodes, foreground and background.
+	BusyNodes int
+	// TotalNodes is the grid's worker-node capacity.
+	TotalNodes int
+}
+
+// Occupancy returns the dimensionless utilization estimate
+// (PendingSubmits + QueuedJobs + BusyNodes) / TotalNodes — the backlog
+// term federation broker policies scale their ranks by.
+func (l Load) Occupancy() float64 {
+	if l.TotalNodes <= 0 {
+		return 0
+	}
+	return float64(l.PendingSubmits+l.QueuedJobs+l.BusyNodes) / float64(l.TotalNodes)
+}
+
+// Load returns the grid's current backlog snapshot.
+func (g *Grid) Load() Load {
+	return Load{
+		PendingSubmits: g.subPending,
+		QueuedJobs:     g.QueuedJobs(),
+		BusyNodes:      g.BusyNodes(),
+		TotalNodes:     g.TotalNodes(),
+	}
 }
 
 // ClusterStat summarizes one computing element's job accounting.

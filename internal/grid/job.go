@@ -49,6 +49,7 @@ const (
 
 var statusNames = [...]string{"submitted", "accepted", "matched", "queued", "running", "completed", "failed"}
 
+// String returns the lifecycle state's lower-case name.
 func (s JobStatus) String() string {
 	if int(s) < len(statusNames) {
 		return statusNames[s]

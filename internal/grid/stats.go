@@ -28,6 +28,14 @@ func (g *Grid) Overheads() OverheadStats {
 	return overheadStats(g.records, nil)
 }
 
+// OverheadsOf computes overhead statistics over an arbitrary record slice.
+// It is the aggregation hook for callers that assemble record sets across
+// grids — a federation's global and per-tenant views — with exactly the
+// semantics of Grid.Overheads.
+func OverheadsOf(records []*JobRecord) OverheadStats {
+	return overheadStats(records, nil)
+}
+
 // overheadStats computes the statistics over the records accepted by keep
 // (nil keeps everything). Percentiles use the upper nearest-rank
 // convention: P50 is durs[n/2] and P90 is durs[n*9/10] of the sorted
@@ -104,6 +112,12 @@ type PhaseStats struct {
 // attempt, so phase means stay comparable across failure rates.
 func (g *Grid) Phases() PhaseStats {
 	return phaseStats(g.records, nil)
+}
+
+// PhasesOf computes the per-phase means over an arbitrary record slice,
+// with exactly the semantics of Grid.Phases. See OverheadsOf.
+func PhasesOf(records []*JobRecord) PhaseStats {
+	return phaseStats(records, nil)
 }
 
 // phaseStats computes the per-phase means over the completed records

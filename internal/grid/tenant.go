@@ -1,5 +1,7 @@
 package grid
 
+import "repro/internal/sim"
+
 // Tenant is a named submission handle on a shared grid, the unit of
 // multi-tenancy: every job submitted through the handle is tagged with the
 // tenant's name, the fair-share gate at the serialized UI drains tenants
@@ -32,6 +34,15 @@ func (t *Tenant) Name() string { return t.name }
 // Grid returns the underlying shared grid (catalog, configuration, global
 // statistics).
 func (t *Tenant) Grid() *Grid { return t.g }
+
+// Catalog returns the shared grid's replica catalog. Together with Submit
+// it makes *Tenant satisfy services.Submitter.
+func (t *Tenant) Catalog() *Catalog { return t.g.catalog }
+
+// Engine returns the simulation engine the shared grid runs on. Campaign
+// workflow builders use it to create tenant-local services (it is part of
+// campaign.Handle).
+func (t *Tenant) Engine() *sim.Engine { return t.g.Eng }
 
 // Submit enters a job tagged with this tenant. Semantics are those of
 // Grid.Submit; the only differences are the tenant tag on the record and

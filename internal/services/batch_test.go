@@ -117,8 +117,11 @@ func TestWrapperAccessors(t *testing.T) {
 	eng := sim.NewEngine()
 	g := testGrid(eng, 1)
 	w := crestWrapper(t, g, 7*time.Second)
-	if w.Grid() != g {
-		t.Error("Grid() accessor broken")
+	if w.Catalog() != g.Catalog() {
+		t.Error("Catalog() accessor broken")
+	}
+	if w.Submitter() != Submitter(g) {
+		t.Error("Submitter() accessor broken")
 	}
 	if w.Descriptor().Executable.Name != "CrestLines.pl" {
 		t.Error("Descriptor() accessor broken")

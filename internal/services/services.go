@@ -65,14 +65,25 @@ type Service interface {
 
 // Submitter abstracts where wrapper-backed services send their grid jobs:
 // the whole grid (the single-workflow case — *grid.Grid satisfies the
-// interface directly) or one tenant of a shared grid (*grid.Tenant, used
-// by multi-tenant campaigns), which tags submissions for per-tenant
-// accounting and routes them through the fair-share gate at the UI.
+// interface directly), one tenant of a shared grid (*grid.Tenant, used by
+// multi-tenant campaigns), or a tenant of a multi-grid federation
+// (*federation.Tenant), whose broker policy picks a target grid per job.
+// Tenant-shaped submitters tag submissions for per-tenant accounting and
+// route them through the fair-share gate at each UI.
+//
+// Submitter identity is tenancy identity: tenant handles are memoized, so
+// comparing Submitters (as Grouped does) detects members that would submit
+// under different tenants or infrastructures.
 type Submitter interface {
-	// Submit enters a job, invoking done once at its terminal state.
+	// Submit enters a job, invoking done once at its terminal state. The
+	// returned record is the first attempt's; brokers that re-submit
+	// elsewhere after a failure report the final attempt's record to done,
+	// so terminal state must be read from the callback's record.
 	Submit(spec grid.JobSpec, done func(*grid.JobRecord)) *grid.JobRecord
-	// Grid returns the underlying grid (catalog, configuration, stats).
-	Grid() *grid.Grid
+	// Catalog returns the replica catalog jobs stage from and register
+	// into — the only piece of the infrastructure the wrapper composition
+	// logic needs (a federation has many grids but one catalog).
+	Catalog() *grid.Catalog
 }
 
 // RuntimeModel gives the compute time of a code for one invocation. Models

@@ -58,12 +58,13 @@ func (w *Wrapper) Runtime() RuntimeModel { return w.run }
 // OutputSize returns the declared size of the named output.
 func (w *Wrapper) OutputSize(name string) float64 { return w.outSizes[name] }
 
-// Grid returns the grid this wrapper submits to.
-func (w *Wrapper) Grid() *grid.Grid { return w.g.Grid() }
+// Catalog returns the replica catalog this wrapper's jobs stage from and
+// register into.
+func (w *Wrapper) Catalog() *grid.Catalog { return w.g.Catalog() }
 
-// Submitter returns the submission target (the grid itself or a tenant
-// handle on it). Grouped services submit through their first member's
-// target, preserving tenancy.
+// Submitter returns the submission target (a grid, a tenant handle on a
+// shared grid, or a federation tenant). Grouped services submit through
+// their first member's target, preserving tenancy.
 func (w *Wrapper) Submitter() Submitter { return w.g }
 
 // bind chooses fresh output GFNs and composes the bindings for one

@@ -30,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/descriptor"
+	"repro/internal/federation"
 	"repro/internal/grid"
 	"repro/internal/iterstrat"
 	"repro/internal/metrics"
@@ -181,9 +182,51 @@ var (
 	RunCampaign = campaign.Run
 	// RunCampaignOn enacts tenants on an existing engine and grid.
 	RunCampaignOn = campaign.RunOn
+	// RunCampaignFederated enacts tenants on an existing engine and
+	// federation: jobs are brokered across the member grids per policy.
+	RunCampaignFederated = campaign.RunFederated
 	// SyntheticChain builds the standard campaign workload: a linear
 	// pipeline of wrapper-backed stages with tenant-unique file names.
 	SyntheticChain = campaign.SyntheticChain
+)
+
+// Federated multi-grid brokering: N independently-configured grids behind
+// one submission handle, a pluggable broker policy picking the target
+// grid per job (see internal/federation).
+type (
+	// Federation is a set of member grids behind one brokered submission
+	// handle, sharing an engine and a replica catalog.
+	Federation = federation.Federation
+	// FederationConfig assembles a federation: member grid specs, broker
+	// policy, cross-grid re-brokering budget, telemetry smoothing.
+	FederationConfig = federation.Config
+	// FederationGridSpec names and configures one member grid.
+	FederationGridSpec = federation.GridSpec
+	// FederationTenant is a named submission handle brokered across the
+	// member grids; it satisfies Submitter like GridTenant does.
+	FederationTenant = federation.Tenant
+	// FederationTelemetry is the smoothed per-grid overhead view the
+	// ranked policy feeds on.
+	FederationTelemetry = federation.Telemetry
+	// BrokerPolicy decides which member grid receives each submission.
+	BrokerPolicy = federation.Policy
+)
+
+// Federation constructors and broker policies.
+var (
+	// NewFederation builds a federation of the configured grids on the
+	// engine, with a shared replica catalog.
+	NewFederation = federation.New
+	// FederationRoundRobin cycles member grids per submission.
+	FederationRoundRobin = federation.RoundRobin
+	// FederationLeastBacklog submits to the lowest-occupancy grid.
+	FederationLeastBacklog = federation.LeastBacklog
+	// FederationRanked scores grids by observed submission and queueing
+	// overhead EWMAs scaled by current backlog (the default policy).
+	FederationRanked = federation.Ranked
+	// FederationPinned sends everything to one grid (the single-grid
+	// baseline federated scenarios are compared against).
+	FederationPinned = federation.Pinned
 )
 
 // Data identity.
