@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench campaign-bench federation-bench clean help
+.PHONY: all build test vet bench campaign-bench federation-bench locality-bench clean help
 
 all: vet build test
 
@@ -31,8 +31,16 @@ campaign-bench:
 federation-bench:
 	$(GO) test -bench BenchmarkFederationScale -benchmem -benchtime 2x -run '^$$' . | tee BENCH_3.json
 
+# Locality-aware federated brokering benchmark (16 tenants with
+# grid-resident inputs across 4 heterogeneous grids, default WAN link
+# model, locality-aware ranked policy); two iterations so the in-benchmark
+# determinism assertion compares makespans, dispatch schedules and WAN
+# byte counts across runs.
+locality-bench:
+	$(GO) test -bench BenchmarkFederationLocality -benchmem -benchtime 2x -run '^$$' . | tee BENCH_4.json
+
 clean:
-	rm -f BENCH_1.json BENCH_2.json BENCH_3.json
+	rm -f BENCH_1.json BENCH_2.json BENCH_3.json BENCH_4.json
 
 help:
 	@echo "Targets:"
@@ -43,4 +51,5 @@ help:
 	@echo "  bench            full paper suite                      -> BENCH_1.json"
 	@echo "  campaign-bench   32-tenant shared-grid campaign        -> BENCH_2.json"
 	@echo "  federation-bench 4 grids x 16 tenants, ranked broker   -> BENCH_3.json"
+	@echo "  locality-bench   skewed replicas over a WAN, ranked    -> BENCH_4.json"
 	@echo "  clean            remove BENCH_*.json"

@@ -496,6 +496,107 @@ func BenchmarkFederationScale(b *testing.B) {
 	b.ReportMetric(float64(used), "grids_used")
 }
 
+// BenchmarkFederationLocality measures the locality-aware brokering stack
+// end to end: 16 tenants enact 6-service wrapper chains over nD=60 items
+// across 4 heterogeneous member grids, every tenant's inputs fully
+// resident on a home grid (homes rotate across members) and cross-grid
+// fetches priced by the default WAN link model. The locality-aware ranked
+// policy must therefore resolve a replica plan per pick and per stage-in
+// — the hot path this benchmark times. Per-tenant makespans, per-grid
+// dispatch counts and per-grid WAN bytes are captured on the first
+// iteration and asserted identical on every subsequent one, so the
+// benchmark doubles as a locality-stack determinism check; sim_s reports
+// the campaign span, jobs the federation-wide terminal job count, wan_mb
+// the WAN bytes actually moved, and grids_used how many members the
+// policy exercised.
+func BenchmarkFederationLocality(b *testing.B) {
+	const nGrids, nTenants, nServices, nD = 4, 16, 6, 60
+	mixes := []core.Options{
+		{ServiceParallelism: true, DataParallelism: true},
+		{ServiceParallelism: true, DataParallelism: true, JobGrouping: true},
+		{DataParallelism: true},
+		{ServiceParallelism: true, DataParallelism: true,
+			DataGroupSize: 8, DataGroupWindow: 2 * time.Minute},
+	}
+	var firstMakespans []time.Duration
+	var firstDispatch []int
+	var firstWAN []float64
+	var span time.Duration
+	var jobs, used int
+	var wanMB float64
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		fed, err := federation.New(eng, federation.Config{
+			Grids:    federation.HeterogeneousSpecs(nGrids, 1),
+			Policy:   federation.Ranked(),
+			Rebroker: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		specs := make([]campaign.TenantSpec, nTenants)
+		for j := 0; j < nTenants; j++ {
+			home := grid.Site{Grid: fed.GridName(j % nGrids)}
+			specs[j] = campaign.TenantSpec{
+				Name:    fmt.Sprintf("t%02d", j),
+				Arrival: time.Duration(j) * time.Minute,
+				Opts:    mixes[j%len(mixes)],
+				Build:   campaign.SyntheticChainPlaced(nServices, nD, 2*time.Minute, 5, home, 1),
+			}
+		}
+		rep, err := campaign.RunFederated(eng, fed, specs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		makespans := make([]time.Duration, len(rep.Tenants))
+		for j, tr := range rep.Tenants {
+			if tr.Err != nil {
+				b.Fatalf("tenant %s: %v", tr.Name, tr.Err)
+			}
+			makespans[j] = tr.Makespan
+		}
+		dispatch := make([]int, fed.Size())
+		wan := make([]float64, fed.Size())
+		used, wanMB = 0, 0
+		for j := range dispatch {
+			// Grid.RemoteInMB counts the bytes actually moved (failed
+			// attempts included), unlike the telemetry's completed-jobs
+			// observation.
+			dispatch[j], wan[j] = fed.Telemetry(j).Dispatched, fed.Grid(j).RemoteInMB()
+			wanMB += wan[j]
+			if dispatch[j] > 0 {
+				used++
+			}
+		}
+		if firstMakespans == nil {
+			firstMakespans, firstDispatch, firstWAN = makespans, dispatch, wan
+		} else {
+			for j := range makespans {
+				if makespans[j] != firstMakespans[j] {
+					b.Fatalf("tenant %d makespan not deterministic: %v vs %v",
+						j, makespans[j], firstMakespans[j])
+				}
+			}
+			for j := range dispatch {
+				if dispatch[j] != firstDispatch[j] {
+					b.Fatalf("grid %d dispatch count not deterministic: %d vs %d",
+						j, dispatch[j], firstDispatch[j])
+				}
+				if wan[j] != firstWAN[j] {
+					b.Fatalf("grid %d WAN bytes not deterministic: %v vs %v",
+						j, wan[j], firstWAN[j])
+				}
+			}
+		}
+		span = rep.Makespan
+		jobs = rep.Global.Jobs + rep.Global.Failed
+	}
+	b.ReportMetric(span.Seconds(), "sim_s")
+	b.ReportMetric(float64(jobs), "jobs")
+	b.ReportMetric(wanMB, "wan_mb")
+	b.ReportMetric(float64(used), "grids_used")
+}
+
 // BenchmarkGridThroughput measures the raw event rate of the grid
 // simulator: jobs completed per wall second under burst submission.
 func BenchmarkGridThroughput(b *testing.B) {

@@ -8,10 +8,20 @@
 // matters: a policy blind to middleware quality parks load behind slow
 // serialized UIs.
 //
+// Data locality is first-class: a -skew fraction of each tenant's inputs
+// is placed on its home grid (homes rotate across members), cross-grid
+// fetches pay the -wan/-wanlat link, and the wan_mb column reports the
+// bytes each policy actually moved. The -locality mode sweeps replica
+// skew × WAN bandwidth over the locality-aware ranked policy, its
+// locality-blind control and least-backlog, mapping out when data-aware
+// brokering pays.
+//
 // Examples:
 //
 //	federation                                  # sweep all policies, 4 grids × 16 tenants
 //	federation -grids 2 -tenants 8 -policies ranked,backlog
+//	federation -policies ranked,ranked-blind -skew 1 -wan 0.5
+//	federation -locality -skews 0,0.5,1 -wans 0.5,2,8
 //	federation -policies ranked,pinned:3 -v     # acceptance comparison + per-grid tables
 package main
 
@@ -27,6 +37,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/federation"
+	"repro/internal/grid"
 	"repro/internal/sim"
 )
 
@@ -49,10 +60,21 @@ func main() {
 		spread   = flag.Duration("spread", time.Minute, "arrival stagger between tenants")
 		seed     = flag.Uint64("seed", 1, "base random seed (grid i uses seed+i)")
 		rebroker = flag.Int("rebroker", 1, "cross-grid resubmissions after terminal failure")
-		policies = flag.String("policies", "ranked,backlog,rr,pinned:0", "comma-separated policies to sweep (ranked|backlog|rr|pinned:N)")
+		policies = flag.String("policies", "ranked,backlog,rr,pinned:0", "comma-separated policies to sweep (ranked|ranked-blind|backlog|rr|pinned:N)")
+		skew     = flag.Float64("skew", 0, "fraction of each tenant's inputs placed on its home grid (homes rotate across members)")
+		wan      = flag.Float64("wan", 2, "WAN bandwidth between member grids (MB/s; 0 keeps cross-grid staging free)")
+		wanLat   = flag.Duration("wanlat", 5*time.Second, "per-file WAN fetch setup latency")
+		locality = flag.Bool("locality", false, "run the locality sweep (replica skew × WAN bandwidth, aware vs blind vs backlog) instead of the policy sweep")
+		skews    = flag.String("skews", "0,0.5,1", "comma-separated skew values of the locality sweep")
+		wans     = flag.String("wans", "0.5,2,8", "comma-separated WAN bandwidths (MB/s) of the locality sweep")
 		verbose  = flag.Bool("v", false, "print the per-grid dispatch and telemetry table per policy")
 	)
 	flag.Parse()
+
+	if *locality {
+		localitySweep(*grids, *tenants, *servs, *items, *runtime, *fileMB, *spread, *seed, *rebroker, *wanLat, *skews, *wans)
+		return
+	}
 
 	var sweep []federation.Policy
 	for _, name := range strings.Split(*policies, ",") {
@@ -64,37 +86,14 @@ func main() {
 		sweep = append(sweep, p)
 	}
 
-	specs := make([]campaign.TenantSpec, *tenants)
-	for i := range specs {
-		specs[i] = campaign.TenantSpec{
-			Name:    fmt.Sprintf("t%02d", i),
-			Arrival: time.Duration(i) * *spread,
-			Opts:    mixes[i%len(mixes)],
-			Build:   campaign.SyntheticChain(*servs, *items, *runtime, *fileMB),
-		}
-	}
-
-	fmt.Printf("federation sweep: %d tenants × %d-stage chains × %d items over %d heterogeneous grids (seed %d, rebroker %d)\n\n",
-		*tenants, *servs, *items, *grids, *seed, *rebroker)
-	fmt.Printf("%-16s %12s %12s %12s %6s %6s %10s %6s\n",
-		"policy", "span", "p50", "p95", "jobs", "failed", "resubmits", "grids")
+	fmt.Printf("federation sweep: %d tenants × %d-stage chains × %d items over %d heterogeneous grids (seed %d, rebroker %d, skew %.2f, wan %.1f MB/s)\n\n",
+		*tenants, *servs, *items, *grids, *seed, *rebroker, *skew, *wan)
+	fmt.Printf("%-16s %12s %12s %12s %6s %6s %10s %10s %6s\n",
+		"policy", "span", "p50", "p95", "jobs", "failed", "resubmits", "wan_mb", "grids")
 
 	for _, policy := range sweep {
-		eng := sim.NewEngine()
-		fed, err := federation.New(eng, federation.Config{
-			Grids:    federation.HeterogeneousSpecs(*grids, *seed),
-			Policy:   policy,
-			Rebroker: *rebroker,
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "federation:", err)
-			os.Exit(1)
-		}
-		rep, err := campaign.RunFederated(eng, fed, specs)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "federation:", err)
-			os.Exit(1)
-		}
+		rep, fed := runOnce(policy, *grids, *tenants, *servs, *items, *runtime, *fileMB, *spread,
+			*seed, *rebroker, *skew, links(*wan, *wanLat))
 		ms := make([]time.Duration, 0, len(rep.Tenants))
 		for _, tr := range rep.Tenants {
 			if tr.Err != nil {
@@ -105,24 +104,132 @@ func main() {
 		}
 		sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
 		used := 0
+		var wanMB float64
 		for i := 0; i < fed.Size(); i++ {
 			if fed.Telemetry(i).Dispatched > 0 {
 				used++
 			}
+			// Bytes actually moved (failed attempts included), not the
+			// telemetry's completed-jobs observation.
+			wanMB += fed.Grid(i).RemoteInMB()
 		}
-		fmt.Printf("%-16s %12v %12v %12v %6d %6d %10d %3d/%d\n",
+		fmt.Printf("%-16s %12v %12v %12v %6d %6d %10d %10.0f %3d/%d\n",
 			policy.Name(), rep.Makespan.Round(time.Second),
 			pct(ms, 50).Round(time.Second), pct(ms, 95).Round(time.Second),
-			rep.Global.Jobs, rep.Global.Failed, rep.Global.Resubmits, used, fed.Size())
+			rep.Global.Jobs, rep.Global.Failed, rep.Global.Resubmits, wanMB, used, fed.Size())
 		if *verbose {
 			for i := 0; i < fed.Size(); i++ {
 				tl := fed.Telemetry(i)
-				fmt.Printf("    %-8s dispatched=%-5d observed=%-5d rebrokered=%-3d submitEWMA=%-8v queueEWMA=%v\n",
+				fmt.Printf("    %-8s dispatched=%-5d observed=%-5d rebrokered=%-3d submitEWMA=%-8v queueEWMA=%-8v wan_mb=%.0f\n",
 					fed.GridName(i), tl.Dispatched, tl.Observed, tl.Rebrokered,
-					tl.SubmitEWMA.Round(time.Second), tl.QueueEWMA.Round(time.Second))
+					tl.SubmitEWMA.Round(time.Second), tl.QueueEWMA.Round(time.Second), fed.Grid(i).RemoteInMB())
 			}
 		}
 	}
+}
+
+// links builds the sweep's link model: cross-grid fetches at the given
+// bandwidth and latency, intra-grid free. A non-positive bandwidth means
+// the advertised free-staging baseline (grid.LocalLinks), regardless of
+// the latency flag — a latency-only WAN is not expressible from the CLI.
+func links(wanMBps float64, wanLat time.Duration) grid.LinkModel {
+	if wanMBps <= 0 {
+		return grid.LocalLinks()
+	}
+	return &grid.Links{WAN: grid.Link{MBps: wanMBps, Latency: wanLat}}
+}
+
+// runOnce enacts the standard tenant load on a fresh federation under one
+// policy and link model.
+func runOnce(policy federation.Policy, grids, tenants, servs, items int, runtime time.Duration,
+	fileMB float64, spread time.Duration, seed uint64, rebroker int, skew float64,
+	lm grid.LinkModel) (*campaign.Report, *federation.Federation) {
+	eng := sim.NewEngine()
+	fed, err := federation.New(eng, federation.Config{
+		Grids:    federation.HeterogeneousSpecs(grids, seed),
+		Policy:   policy,
+		Rebroker: rebroker,
+		Links:    lm,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "federation:", err)
+		os.Exit(1)
+	}
+	specs := make([]campaign.TenantSpec, tenants)
+	for i := range specs {
+		home := grid.Site{Grid: fed.GridName(i % grids)}
+		specs[i] = campaign.TenantSpec{
+			Name:    fmt.Sprintf("t%02d", i),
+			Arrival: time.Duration(i) * spread,
+			Opts:    mixes[i%len(mixes)],
+			Build:   campaign.SyntheticChainPlaced(servs, items, runtime, fileMB, home, skew),
+		}
+	}
+	rep, err := campaign.RunFederated(eng, fed, specs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "federation:", err)
+		os.Exit(1)
+	}
+	return rep, fed
+}
+
+// localitySweep maps campaign span/p95 and WAN traffic over replica skew ×
+// WAN bandwidth for the locality-aware ranked policy, its locality-blind
+// control and least-backlog.
+func localitySweep(grids, tenants, servs, items int, runtime time.Duration, fileMB float64,
+	spread time.Duration, seed uint64, rebroker int, wanLat time.Duration, skews, wans string) {
+	skewVals, err := parseFloats(skews)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "federation: -skews:", err)
+		os.Exit(2)
+	}
+	wanVals, err := parseFloats(wans)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "federation: -wans:", err)
+		os.Exit(2)
+	}
+	pols := []federation.Policy{federation.Ranked(), federation.RankedLocalityBlind(), federation.LeastBacklog()}
+
+	fmt.Printf("locality sweep: %d tenants × %d-stage chains × %d items over %d heterogeneous grids (seed %d, wanlat %v)\n\n",
+		tenants, servs, items, grids, seed, wanLat)
+	fmt.Printf("%-5s %-8s %-16s %12s %12s %10s\n", "skew", "wanMBps", "policy", "span", "p95", "wan_mb")
+	for _, sk := range skewVals {
+		for _, w := range wanVals {
+			for _, pol := range pols {
+				rep, fed := runOnce(pol, grids, tenants, servs, items, runtime, fileMB, spread,
+					seed, rebroker, sk, links(w, wanLat))
+				ms := make([]time.Duration, 0, len(rep.Tenants))
+				for _, tr := range rep.Tenants {
+					if tr.Err != nil {
+						fmt.Fprintf(os.Stderr, "federation: %s: tenant %s: %v\n", pol.Name(), tr.Name, tr.Err)
+						continue
+					}
+					ms = append(ms, tr.Makespan)
+				}
+				sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+				var wanMB float64
+				for i := 0; i < fed.Size(); i++ {
+					wanMB += fed.Grid(i).RemoteInMB()
+				}
+				fmt.Printf("%-5.2f %-8.1f %-16s %12v %12v %10.0f\n",
+					sk, w, pol.Name(), rep.Makespan.Round(time.Second),
+					pct(ms, 95).Round(time.Second), wanMB)
+			}
+		}
+	}
+}
+
+// parseFloats parses a comma-separated float list.
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // pct returns the upper nearest-rank percentile of sorted durations.
@@ -140,6 +247,8 @@ func parsePolicy(name string, grids int) (federation.Policy, error) {
 	switch {
 	case name == "ranked":
 		return federation.Ranked(), nil
+	case name == "ranked-blind":
+		return federation.RankedLocalityBlind(), nil
 	case name == "backlog":
 		return federation.LeastBacklog(), nil
 	case name == "rr":
@@ -154,5 +263,5 @@ func parsePolicy(name string, grids int) (federation.Policy, error) {
 		}
 		return federation.Pinned(idx), nil
 	}
-	return nil, fmt.Errorf("unknown policy %q (want ranked|backlog|rr|pinned:N)", name)
+	return nil, fmt.Errorf("unknown policy %q (want ranked|ranked-blind|backlog|rr|pinned:N)", name)
 }

@@ -30,6 +30,7 @@
 package campaign
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
 	"time"
@@ -76,6 +77,10 @@ type Site interface {
 	// TotalNodes returns the site's worker-node capacity, the default
 	// concurrency estimate for adaptive granularity.
 	TotalNodes() int
+	// UIBacklog returns the submissions accepted but not yet cleared by
+	// the site's serialized UIs (summed across a federation's member
+	// grids) — the congestion signal admission control gates arrivals on.
+	UIBacklog() int
 	// Overheads aggregates overhead statistics over every tenant's jobs.
 	Overheads() grid.OverheadStats
 	// Phases aggregates per-phase latency means over every tenant's
@@ -90,6 +95,7 @@ type gridSite struct{ g *grid.Grid }
 
 func (s gridSite) Tenant(name string) Handle     { return s.g.Tenant(name) }
 func (s gridSite) TotalNodes() int               { return s.g.TotalNodes() }
+func (s gridSite) UIBacklog() int                { return s.g.PendingSubmits() }
 func (s gridSite) Overheads() grid.OverheadStats { return s.g.Overheads() }
 func (s gridSite) Phases() grid.PhaseStats       { return s.g.Phases() }
 
@@ -100,8 +106,15 @@ func OnFederation(f *federation.Federation) Site { return fedSite{f} }
 
 type fedSite struct{ f *federation.Federation }
 
-func (s fedSite) Tenant(name string) Handle     { return s.f.Tenant(name) }
-func (s fedSite) TotalNodes() int               { return s.f.TotalNodes() }
+func (s fedSite) Tenant(name string) Handle { return s.f.Tenant(name) }
+func (s fedSite) TotalNodes() int           { return s.f.TotalNodes() }
+func (s fedSite) UIBacklog() int {
+	n := 0
+	for i := 0; i < s.f.Size(); i++ {
+		n += s.f.Grid(i).PendingSubmits()
+	}
+	return n
+}
 func (s fedSite) Overheads() grid.OverheadStats { return s.f.Overheads() }
 func (s fedSite) Phases() grid.PhaseStats       { return s.f.Phases() }
 
@@ -150,7 +163,44 @@ type Config struct {
 	// grid.DefaultConfig.
 	Grid    grid.Config
 	Tenants []TenantSpec
+	// MaxUIBacklog enables admission control: a tenant arriving while the
+	// site's UI backlog (Site.UIBacklog) exceeds the threshold is held
+	// back and re-checked every AdmissionRetry until the backlog drains —
+	// protecting the tenants already running from yet another burst
+	// landing on a saturated serialized UI. Zero disables admission
+	// control.
+	MaxUIBacklog int
+	// AdmissionRetry is the virtual period between admission re-checks of
+	// a held-back tenant. Zero means 30 s.
+	AdmissionRetry time.Duration
+	// AdmissionMaxDelay bounds how long a tenant may be held back: once
+	// it has waited this long and the backlog is still above threshold,
+	// the tenant is rejected with ErrAdmissionRejected instead of delayed
+	// further. Zero means tenants are delayed indefinitely (they always
+	// start eventually — the backlog drains as running tenants finish).
+	AdmissionMaxDelay time.Duration
 }
+
+// Admission is the arrival-gating policy of a campaign, the resolved form
+// of Config's MaxUIBacklog/AdmissionRetry/AdmissionMaxDelay knobs for
+// callers driving RunSiteAdmitted directly (federated campaigns included).
+// The zero value disables admission control.
+type Admission struct {
+	// MaxUIBacklog is the UI-backlog threshold above which arrivals are
+	// held back (zero disables gating).
+	MaxUIBacklog int
+	// Retry is the re-check period for held-back tenants (zero means
+	// 30 s).
+	Retry time.Duration
+	// MaxDelay bounds a tenant's total admission delay before rejection
+	// (zero means unbounded).
+	MaxDelay time.Duration
+}
+
+// ErrAdmissionRejected reports a tenant turned away by admission control:
+// it waited AdmissionMaxDelay and the UI backlog still exceeded the
+// threshold.
+var ErrAdmissionRejected = errors.New("campaign: tenant rejected by admission control")
 
 // Adaptation records one mid-campaign granularity retuning decision.
 type Adaptation struct {
@@ -171,6 +221,10 @@ type TenantResult struct {
 	Makespan time.Duration
 	Result   *core.Result
 	Err      error
+	// AdmissionDelay is how long admission control held the tenant back
+	// beyond its specified Arrival before letting it start (zero without
+	// admission control or when the gate was clear).
+	AdmissionDelay time.Duration
 	// Overheads and Phases cover this tenant's jobs only; across tenants
 	// they partition the global grid statistics.
 	Overheads   grid.OverheadStats
@@ -204,7 +258,8 @@ func Run(cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("campaign: grid config has no clusters (leave Grid entirely zero for the default grid)")
 	}
 	eng := sim.NewEngine()
-	return RunOn(eng, grid.New(eng, cfg.Grid), cfg.Tenants)
+	return RunSiteAdmitted(eng, OnGrid(grid.New(eng, cfg.Grid)), cfg.Tenants,
+		Admission{MaxUIBacklog: cfg.MaxUIBacklog, Retry: cfg.AdmissionRetry, MaxDelay: cfg.AdmissionMaxDelay})
 }
 
 // tenantRun is the mutable state of one tenant during a campaign.
@@ -217,6 +272,7 @@ type tenantRun struct {
 	err         error
 	finished    bool
 	finish      sim.Time
+	admitDelay  time.Duration
 	adaptations []Adaptation
 }
 
@@ -238,8 +294,21 @@ func RunFederated(eng *sim.Engine, f *federation.Federation, specs []TenantSpec)
 // RunSite enacts the tenants on an existing engine and site, stepping the
 // engine until every tenant reaches a terminal state (or the event queue
 // drains, which marks the unfinished tenants as stalled). It is the
-// building block RunOn and RunFederated share.
+// building block RunOn and RunFederated share; RunSiteAdmitted adds
+// arrival gating.
 func RunSite(eng *sim.Engine, site Site, specs []TenantSpec) (*Report, error) {
+	return RunSiteAdmitted(eng, site, specs, Admission{})
+}
+
+// RunSiteAdmitted is RunSite with admission control: a tenant whose
+// arrival instant finds the site's UI backlog above adm.MaxUIBacklog is
+// held back and re-checked every adm.Retry, starting only once the
+// backlog has drained below the threshold (or rejected with
+// ErrAdmissionRejected after adm.MaxDelay of waiting). The tenant's
+// Makespan still counts from its specified Arrival, so admission delay
+// shows up honestly in the delayed tenant's own numbers while the
+// protected tenants' overheads improve.
+func RunSiteAdmitted(eng *sim.Engine, site Site, specs []TenantSpec, adm Admission) (*Report, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("campaign: no tenants")
 	}
@@ -284,7 +353,27 @@ func RunSite(eng *sim.Engine, site Site, specs []TenantSpec) (*Report, error) {
 		// Arrivals are relative to the campaign start (the engine's
 		// current instant), so RunOn works on an engine whose clock has
 		// already advanced.
-		eng.Schedule(sim.Time(ts.Arrival), func() {
+		retry := adm.Retry
+		if retry <= 0 {
+			retry = 30 * time.Second
+		}
+		arrival := campaignStart + sim.Time(ts.Arrival)
+		var begin func()
+		begin = func() {
+			if adm.MaxUIBacklog > 0 && site.UIBacklog() > adm.MaxUIBacklog {
+				waited := time.Duration(eng.Now() - arrival)
+				if adm.MaxDelay > 0 && waited >= adm.MaxDelay {
+					r.err = fmt.Errorf("campaign: tenant %s: %w after %v", r.spec.Name, ErrAdmissionRejected, waited)
+					r.finished, r.finish = true, eng.Now()
+					remaining--
+					return
+				}
+				// Held back: the backlog only moves when a UI event fires,
+				// so the retry tick always finds progress to observe.
+				eng.Schedule(sim.Time(retry), begin)
+				return
+			}
+			r.admitDelay = time.Duration(eng.Now() - arrival)
 			err := r.en.Start(r.inputs, func(res *core.Result, err error) {
 				r.res, r.err = res, err
 				r.finished = true
@@ -298,7 +387,8 @@ func RunSite(eng *sim.Engine, site Site, specs []TenantSpec) (*Report, error) {
 			if r.spec.Adapt != nil && !r.finished {
 				scheduleAdapt(eng, site, r, len(specs), campaignStart, &pendingTicks)
 			}
-		})
+		}
+		eng.Schedule(sim.Time(ts.Arrival), begin)
 	}
 
 	for remaining > 0 && eng.Step() {
@@ -307,13 +397,14 @@ func RunSite(eng *sim.Engine, site Site, specs []TenantSpec) (*Report, error) {
 	rep := &Report{Tenants: make([]TenantResult, len(runners))}
 	for i, r := range runners {
 		tr := TenantResult{
-			Name:        r.spec.Name,
-			Arrival:     r.spec.Arrival,
-			Result:      r.res,
-			Err:         r.err,
-			Overheads:   r.tenant.Overheads(),
-			Phases:      r.tenant.Phases(),
-			Adaptations: r.adaptations,
+			Name:           r.spec.Name,
+			Arrival:        r.spec.Arrival,
+			Result:         r.res,
+			Err:            r.err,
+			AdmissionDelay: r.admitDelay,
+			Overheads:      r.tenant.Overheads(),
+			Phases:         r.tenant.Phases(),
+			Adaptations:    r.adaptations,
 		}
 		if !r.finished {
 			tr.Err = fmt.Errorf("campaign: tenant %s: %w", r.spec.Name, core.ErrStalled)

@@ -137,7 +137,12 @@ func federatedFingerprint(rep *Report, f *federation.Federation) uint64 {
 
 // TestFederatedCampaignGolden runs a 2-grid federated campaign with
 // failures and re-brokering enabled and compares its complete outcome
-// fingerprint against the pinned golden.
+// fingerprint against the pinned golden. The federation runs under
+// grid.LocalLinks — the location-blind transfer model — and the golden
+// constant is the one captured before the catalog learned about replica
+// locations: this test is the proof that LocalLinks restores the PR 3
+// free-staging federation bit for bit (the default WAN model's behaviour
+// is pinned separately by TestFederatedLocalityGolden).
 func TestFederatedCampaignGolden(t *testing.T) {
 	run := func() uint64 {
 		eng := sim.NewEngine()
@@ -154,6 +159,7 @@ func TestFederatedCampaignGolden(t *testing.T) {
 			},
 			Policy:   federation.Ranked(),
 			Rebroker: 1,
+			Links:    grid.LocalLinks(),
 		})
 		if err != nil {
 			t.Fatal(err)

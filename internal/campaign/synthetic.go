@@ -2,9 +2,11 @@ package campaign
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/descriptor"
+	"repro/internal/grid"
 	"repro/internal/services"
 	"repro/internal/workflow"
 )
@@ -19,9 +21,26 @@ import (
 // in their Options, so contention effects are attributable to scheduling,
 // not to workload shape.
 func SyntheticChain(n, items int, runtime time.Duration, fileMB float64) BuildFunc {
+	return SyntheticChainPlaced(n, items, runtime, fileMB, grid.Site{}, 0)
+}
+
+// SyntheticChainPlaced is SyntheticChain with skewed input placement: a
+// `skew` fraction of the tenant's input files (the first ⌈skew×items⌉, a
+// deterministic rule) is registered as replicas pinned at `home` — a
+// member grid of a federation, typically Site{Grid: name} — while the
+// rest stays unplaced (local everywhere, i.e. uniformly replicated). With
+// skew 0 it is exactly SyntheticChain; with skew 1 every input is
+// resident only at the home site and any job brokered elsewhere pays the
+// link model's fetch cost. It is the standard workload of locality
+// scenarios: sweeping skew against WAN bandwidth maps out when
+// data-aware brokering pays.
+func SyntheticChainPlaced(n, items int, runtime time.Duration, fileMB float64, home grid.Site, skew float64) BuildFunc {
 	return func(t Handle) (*workflow.Workflow, map[string][]string, error) {
 		if n < 1 || items < 1 {
 			return nil, nil, fmt.Errorf("campaign: synthetic chain needs at least one stage and one item")
+		}
+		if skew < 0 || skew > 1 {
+			return nil, nil, fmt.Errorf("campaign: placement skew %v outside [0, 1]", skew)
 		}
 		tn := t.Name()
 		wf := workflow.New(tn)
@@ -45,10 +64,15 @@ func SyntheticChain(n, items int, runtime time.Duration, fileMB float64) BuildFu
 		wf.AddSink("sink")
 		wf.Connect(prev, prevPort, "sink", workflow.SinkPort)
 
+		placed := int(math.Ceil(skew * float64(items)))
 		inputs := make([]string, items)
 		for i := range inputs {
 			gfn := fmt.Sprintf("gfn://%s/input%04d", tn, i)
-			t.Catalog().Register(gfn, fileMB)
+			if i < placed && !home.IsZero() {
+				t.Catalog().RegisterAt(gfn, fileMB, home)
+			} else {
+				t.Catalog().Register(gfn, fileMB)
+			}
 			inputs[i] = gfn
 		}
 		return wf, map[string][]string{"src": inputs}, nil

@@ -16,15 +16,18 @@ import (
 	"testing"
 )
 
-// checkedPackages is the enforced surface: the grid tenancy model, the
-// campaign layer, the federation broker, the service/submitter layer and
-// the enactor API.
+// checkedPackages is the enforced surface: the grid tenancy and data-
+// locality model, the campaign layer, the federation broker, the
+// service/submitter layer, the enactor API, the simulation engine and the
+// theoretical model.
 var checkedPackages = []string{
 	"../campaign",
 	"../federation",
 	"../grid",
 	"../services",
 	"../core",
+	"../sim",
+	"../model",
 }
 
 func TestExportedIdentifiersAreDocumented(t *testing.T) {

@@ -74,6 +74,14 @@ type Config struct {
 	// telemetry (0 < alpha ≤ 1); larger values track recent jobs more
 	// aggressively. Zero means 0.2.
 	EWMAAlpha float64
+	// Links is the link model pricing replica movement across the
+	// federation, attached to the shared catalog: it decides what a job
+	// pays to stage inputs whose replicas live on another member grid,
+	// and what the broker's locality-aware policies estimate that cost
+	// to be. Nil means grid.DefaultWAN (cross-grid fetches pay a real
+	// WAN link); pass grid.LocalLinks() to restore the location-blind
+	// federation where cross-grid staging was free.
+	Links grid.LinkModel
 }
 
 // Telemetry is the federation's smoothed overhead view of one member
@@ -94,6 +102,13 @@ type Telemetry struct {
 	// QueueEWMA smooths the queueing phase (Matched→Started: batch-queue
 	// wait plus LRMS dispatch) of completed jobs.
 	QueueEWMA time.Duration
+	// RemoteInMB accumulates the input bytes this grid's completed jobs
+	// fetched over non-local links (the final attempts' JobRecord
+	// accounting) — the broker's observed price of placing jobs away
+	// from their data. Failed and resubmitted attempts are not observed;
+	// for the bytes actually moved, read the member grid's
+	// grid.Grid.RemoteInMB.
+	RemoteInMB float64
 }
 
 // Federation is a set of member grids behind one brokered submission
@@ -113,6 +128,10 @@ type Federation struct {
 	// per-tenant views partition.
 	records []*grid.JobRecord
 	views   []GridView // scratch, rebuilt per pick
+	// planViews caches whether the policy consumes the views' affinity
+	// signals (see affinityReader): stage planning per pick is pure
+	// overhead for a policy that never reads it.
+	planViews bool
 }
 
 // New builds a federation of the configured grids on the engine, sharing
@@ -140,9 +159,20 @@ func New(eng *sim.Engine, cfg Config) (*Federation, error) {
 	if f.policy == nil {
 		f.policy = Ranked()
 	}
+	// Unknown policies are assumed to read the affinity signals; built-in
+	// ones declare themselves.
+	f.planViews = true
+	if ar, ok := f.policy.(affinityReader); ok {
+		f.planViews = ar.readsAffinity()
+	}
 	if f.alpha == 0 {
 		f.alpha = 0.2
 	}
+	links := cfg.Links
+	if links == nil {
+		links = grid.DefaultWAN()
+	}
+	f.catalog.SetLinks(links)
 	seen := make(map[string]bool, len(cfg.Grids))
 	for i, gs := range cfg.Grids {
 		name := gs.Name
@@ -156,6 +186,11 @@ func New(eng *sim.Engine, cfg Config) (*Federation, error) {
 		if len(gs.Config.Clusters) == 0 {
 			return nil, fmt.Errorf("federation: grid %q has no clusters", name)
 		}
+		// The member grid carries the federation-resolved name as its data
+		// location: its jobs' outputs become replicas at Site{name,
+		// cluster}, which is what makes cross-grid staging visible to the
+		// link model.
+		gs.Config.Name = name
 		f.names = append(f.names, name)
 		f.grids = append(f.grids, grid.NewWithCatalog(eng, gs.Config, f.catalog))
 	}
@@ -254,15 +289,33 @@ func (f *Federation) Submit(spec grid.JobSpec, done func(*grid.JobRecord)) *grid
 }
 
 func (f *Federation) submit(tenant string, spec grid.JobSpec, done func(*grid.JobRecord)) *grid.JobRecord {
-	return f.dispatch(tenant, spec, done, f.pick(-1), f.cfg.Rebroker)
+	return f.dispatch(tenant, spec, done, f.pick(spec, -1), f.cfg.Rebroker)
 }
 
-// pick rebuilds the policy's views and asks it for a target grid,
-// validating the answer (an out-of-range pick is a policy bug and panics
-// rather than silently misrouting).
-func (f *Federation) pick(exclude int) int {
+// pick rebuilds the policy's views for this job and asks the policy for a
+// target grid, validating the answer (an out-of-range pick is a policy bug
+// and panics rather than silently misrouting). Views carry the job's
+// data-affinity signals: for each grid, the bytes of the job's inputs
+// already resident there and the estimated serialized fetch time of the
+// rest under the catalog's link model — which is also exactly what
+// re-brokering consults, so moving a failed job to another grid weighs the
+// re-staging it would cause. Stage planning is skipped entirely when the
+// policy declared it never reads the signals (see affinityReader) or the
+// link model is the all-local one (every estimate is provably zero); a
+// plan with a missing input leaves the signals zero on every view, so
+// order-dependent partial sums never steer a doomed job's placement —
+// the same contract as the in-grid cluster ranker's fetch estimate.
+func (f *Federation) pick(spec grid.JobSpec, exclude int) int {
+	plan := f.planViews && len(spec.Inputs) > 0 && !f.catalog.AllLocal()
 	for i, g := range f.grids {
 		f.views[i] = GridView{Index: i, Name: f.names[i], Load: g.Load(), Telemetry: f.telem[i]}
+		if plan {
+			p := f.catalog.Plan(spec.Inputs, grid.Site{Grid: f.names[i]})
+			if p.Missing == "" {
+				f.views[i].AffinityMB = p.LocalMB
+				f.views[i].XferEst = p.RemoteTime
+			}
+		}
 	}
 	idx := f.policy.Pick(f.views, exclude)
 	if idx < 0 || idx >= len(f.grids) {
@@ -281,7 +334,7 @@ func (f *Federation) dispatch(tenant string, spec grid.JobSpec, done func(*grid.
 		f.observe(idx, r)
 		if r.Status == grid.StatusFailed && retries > 0 && len(f.grids) > 1 && rebrokerable(r) {
 			f.telem[idx].Rebrokered++
-			f.dispatch(tenant, spec, done, f.pick(idx), retries-1)
+			f.dispatch(tenant, spec, done, f.pick(spec, idx), retries-1)
 			return
 		}
 		done(r)
@@ -307,6 +360,7 @@ func (f *Federation) observe(idx int, r *grid.JobRecord) {
 		return
 	}
 	t := &f.telem[idx]
+	t.RemoteInMB += r.RemoteInMB
 	submit := time.Duration(r.Accepted - r.Submitted)
 	queue := time.Duration(r.Started - r.Matched)
 	if t.Observed == 0 {

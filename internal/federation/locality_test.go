@@ -1,0 +1,154 @@
+package federation
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/sim"
+)
+
+// twoGridSpecs returns two identical quiet member grids, so placement
+// effects are attributable to the policies' locality terms alone.
+func twoGridSpecs() []GridSpec {
+	mk := func(seed uint64) grid.Config {
+		cfg := grid.IdealConfig(8)
+		cfg.Overheads = grid.OverheadConfig{
+			SubmitMean:   2 * time.Second,
+			BrokerMean:   3 * time.Second,
+			DispatchMean: 5 * time.Second,
+		}
+		cfg.BrokerSlots = 4
+		cfg.Seed = seed
+		return cfg
+	}
+	return []GridSpec{
+		{Name: "west", Config: mk(11)},
+		{Name: "east", Config: mk(12)},
+	}
+}
+
+// TestRankedFollowsData pins the broker's transfer-cost term: on two
+// otherwise identical grids, a job whose input replica lives on the
+// second grid is brokered there by the locality-aware Ranked policy,
+// while the locality-blind variant resolves the tie to grid 0.
+func TestRankedFollowsData(t *testing.T) {
+	run := func(policy Policy) (*Federation, *grid.JobRecord) {
+		eng := sim.NewEngine()
+		f, err := New(eng, Config{
+			Grids:  twoGridSpecs(),
+			Policy: policy,
+			Links:  &grid.Links{WAN: grid.Link{MBps: 1, Latency: 10 * time.Second}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Catalog().RegisterAt("gfn://data", 60, grid.Site{Grid: "east", Cluster: "ideal"})
+		var final *grid.JobRecord
+		f.Submit(grid.JobSpec{Name: "j", Inputs: []string{"gfn://data"}, Runtime: time.Second},
+			func(r *grid.JobRecord) { final = r })
+		eng.Run()
+		if final == nil || final.Status != grid.StatusCompleted {
+			t.Fatalf("job did not complete: %+v", final)
+		}
+		return f, final
+	}
+
+	aware, rec := run(Ranked())
+	if aware.Telemetry(1).Dispatched != 1 || aware.Telemetry(0).Dispatched != 0 {
+		t.Fatalf("locality-aware ranked dispatched to %v/%v, want the data's grid",
+			aware.Telemetry(0).Dispatched, aware.Telemetry(1).Dispatched)
+	}
+	if rec.RemoteInMB != 0 {
+		t.Fatalf("job at the data fetched %v MB over the WAN", rec.RemoteInMB)
+	}
+
+	blind, rec := run(RankedLocalityBlind())
+	if blind.Telemetry(0).Dispatched != 1 {
+		t.Fatalf("locality-blind ranked dispatched to grid %v, want the index-0 tie-break",
+			blind.Telemetry(1).Dispatched)
+	}
+	if rec.RemoteInMB != 60 {
+		t.Fatalf("blind placement fetched %v MB over the WAN, want 60", rec.RemoteInMB)
+	}
+	// The observed WAN traffic lands in the executing grid's telemetry.
+	if blind.Telemetry(0).RemoteInMB != 60 {
+		t.Fatalf("telemetry RemoteInMB = %v, want 60", blind.Telemetry(0).RemoteInMB)
+	}
+	if aware.Telemetry(1).RemoteInMB != 0 {
+		t.Fatalf("aware telemetry RemoteInMB = %v, want 0", aware.Telemetry(1).RemoteInMB)
+	}
+}
+
+// TestGridViewAffinity pins the affinity signals the federation computes
+// per pick: resident bytes count as affinity, the rest as estimated
+// fetch time under the link model.
+func TestGridViewAffinity(t *testing.T) {
+	eng := sim.NewEngine()
+	f, err := New(eng, Config{
+		Grids: twoGridSpecs(),
+		Links: &grid.Links{WAN: grid.Link{MBps: 2, Latency: 5 * time.Second}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Catalog().RegisterAt("gfn://a", 30, grid.Site{Grid: "west", Cluster: "ideal"})
+	f.Catalog().Register("gfn://b", 7) // unplaced: local everywhere
+
+	spec := grid.JobSpec{Inputs: []string{"gfn://a", "gfn://b"}}
+	probe := &probePolicy{}
+	f.policy = probe
+	f.pick(spec, -1)
+
+	west, east := probe.views[0], probe.views[1]
+	if west.AffinityMB != 37 || west.XferEst != 0 {
+		t.Fatalf("west view = affinity %v, xfer %v; want 37, 0", west.AffinityMB, west.XferEst)
+	}
+	if east.AffinityMB != 7 {
+		t.Fatalf("east affinity = %v, want 7 (only the unplaced file)", east.AffinityMB)
+	}
+	if want := 5*time.Second + 15*time.Second; east.XferEst != want {
+		t.Fatalf("east XferEst = %v, want %v", east.XferEst, want)
+	}
+}
+
+// probePolicy records the views it was shown and always picks grid 0.
+type probePolicy struct{ views []GridView }
+
+func (p *probePolicy) Name() string { return "probe" }
+
+func (p *probePolicy) Pick(views []GridView, exclude int) int {
+	p.views = append([]GridView(nil), views...)
+	return 0
+}
+
+// TestLocalLinksRestoreFreeStaging pins the compatibility escape hatch:
+// under grid.LocalLinks a cross-grid consumer stages a placed replica for
+// free, exactly as the PR 3 shared catalog behaved.
+func TestLocalLinksRestoreFreeStaging(t *testing.T) {
+	eng := sim.NewEngine()
+	f, err := New(eng, Config{
+		Grids:  twoGridSpecs(),
+		Policy: Pinned(0),
+		Links:  grid.LocalLinks(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Catalog().RegisterAt("gfn://data", 500, grid.Site{Grid: "east", Cluster: "ideal"})
+	var final *grid.JobRecord
+	f.Submit(grid.JobSpec{Name: "j", Inputs: []string{"gfn://data"}, Runtime: time.Second},
+		func(r *grid.JobRecord) { final = r })
+	eng.Run()
+	if final == nil || final.Status != grid.StatusCompleted {
+		t.Fatalf("job did not complete: %+v", final)
+	}
+	if final.RemoteInMB != 0 || final.RemoteFetch != 0 {
+		t.Fatalf("LocalLinks run paid a remote fetch: %v MB in %v", final.RemoteInMB, final.RemoteFetch)
+	}
+	// quiet overheads: submit 2 + broker 3 + dispatch 5 = 10s, no
+	// transfer cost despite the 500 MB remote-only replica.
+	if got, want := final.Overhead(), 10*time.Second; got != want {
+		t.Fatalf("overhead = %v, want %v", got, want)
+	}
+}

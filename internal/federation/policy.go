@@ -2,16 +2,19 @@ package federation
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/grid"
 )
 
 // GridView is one grid's state as a broker policy sees it when picking a
 // submission target: a static identity, an instantaneous backlog snapshot,
-// and the smoothed overhead telemetry the federation maintains from
-// terminal job records. Views are rebuilt per pick, so policies observe
-// submissions they themselves caused earlier at the same virtual instant
-// (PendingSubmits grows synchronously with Submit).
+// the smoothed overhead telemetry the federation maintains from terminal
+// job records, and the job's data-affinity signals under the federation's
+// link model. Views are rebuilt per pick, so policies observe submissions
+// they themselves caused earlier at the same virtual instant
+// (PendingSubmits grows synchronously with Submit) and affinity reflects
+// every replica registered so far.
 type GridView struct {
 	// Index is the grid's position in the federation's configuration.
 	Index int
@@ -21,6 +24,18 @@ type GridView struct {
 	Load grid.Load
 	// Telemetry is the federation's smoothed per-grid overhead view.
 	Telemetry Telemetry
+	// AffinityMB is the data affinity of the job being placed: the bytes
+	// of its inputs with a replica already resident on this grid (or
+	// unplaced, hence local everywhere).
+	AffinityMB float64
+	// XferEst is the estimated serialized fetch time of the job's
+	// non-resident input bytes over the federation's link model, were the
+	// job brokered to this grid — the transfer-cost term locality-aware
+	// policies add to their rank. AffinityMB and XferEst stay zero when
+	// the policy declared it never reads them, when the link model is
+	// all-local, or when an input is missing from the catalog (a partial
+	// plan must not steer a doomed job's placement).
+	XferEst time.Duration
 }
 
 // Policy decides which member grid receives one job submission. Picks must
@@ -36,6 +51,15 @@ type Policy interface {
 	Pick(views []GridView, exclude int) int
 }
 
+// affinityReader is the optional capability a Policy may declare: a
+// policy returning false promises it never reads the views' AffinityMB
+// or XferEst, and the federation then skips the per-pick stage planning
+// those fields cost. Policies that do not implement the interface are
+// conservatively assumed to read the signals.
+type affinityReader interface {
+	readsAffinity() bool
+}
+
 // RoundRobin returns the baseline policy: grids take turns in
 // configuration order, one submission each, skipping only an excluded
 // grid. It ignores every load and overhead signal — the control every
@@ -45,6 +69,8 @@ func RoundRobin() Policy { return &roundRobin{} }
 type roundRobin struct{ next int }
 
 func (p *roundRobin) Name() string { return "round-robin" }
+
+func (p *roundRobin) readsAffinity() bool { return false }
 
 func (p *roundRobin) Pick(views []GridView, exclude int) int {
 	n := len(views)
@@ -67,6 +93,8 @@ func LeastBacklog() Policy { return leastBacklog{} }
 type leastBacklog struct{}
 
 func (leastBacklog) Name() string { return "least-backlog" }
+
+func (leastBacklog) readsAffinity() bool { return false }
 
 func (leastBacklog) Pick(views []GridView, exclude int) int {
 	best, bestScore := -1, 0.0
@@ -95,30 +123,48 @@ func (leastBacklog) Pick(views []GridView, exclude int) int {
 // dominate.
 const rankFloor = 1.0
 
-// Ranked returns the overhead-ranked policy. Each grid is scored by the
-// wait a new job should expect there, estimated from the grid's observed
-// per-grid overheads — the EWMAs of the UI submission phase and of the
-// batch-queue phase — each scaled by the backlog currently in front of
-// that phase:
+// Ranked returns the locality-aware overhead-ranked policy. Each grid is
+// scored by the wait a new job should expect there, estimated from the
+// grid's observed per-grid overheads — the EWMAs of the UI submission
+// phase and of the batch-queue phase — each scaled by the backlog
+// currently in front of that phase, plus the estimated cost of moving the
+// job's data there:
 //
 //	rank = (submitEWMA + rankFloor) × (1 + pendingSubmits)
 //	     + queueEWMA × (1 + queuedJobs/nodes)
+//	     + xferEst
 //
 // and the submission goes to the argmin. The UI term multiplies by the
 // absolute UI backlog because submission is serialized — every pending
 // request costs a full submit latency — while the queue term normalizes
 // by capacity, since batch queues drain in parallel across worker nodes.
-// These are the components of the paper's grid overhead a broker can
-// actually influence by choosing a different grid (staging depends on the
-// data, matchmaking is paid wherever the job lands). Ties resolve to the
-// lowest index.
+// The transfer term (GridView.XferEst) is the serialized non-local fetch
+// time the job's stage-in would actually pay on that grid, in the same
+// seconds as the overhead terms: the broker trades a busy-but-local grid
+// against an idle-but-remote one at face value. On a federation with
+// uniformly-resident data every grid's transfer term is equal, the argmin
+// is unchanged, and the policy decays to the locality-blind ranking
+// exactly (see RankedLocalityBlind). Ties resolve to the lowest index.
 func Ranked() Policy { return ranked{} }
 
-type ranked struct{}
+// RankedLocalityBlind returns the overhead-ranked policy without the
+// transfer-cost term — the PR 3 ranking, kept as the control arm of
+// locality experiments: comparing it against Ranked on a skewed-replica
+// federation isolates exactly what data-awareness buys.
+func RankedLocalityBlind() Policy { return ranked{blind: true} }
 
-func (ranked) Name() string { return "overhead-ranked" }
+type ranked struct{ blind bool }
 
-func (ranked) Pick(views []GridView, exclude int) int {
+func (p ranked) Name() string {
+	if p.blind {
+		return "ranked-blind"
+	}
+	return "overhead-ranked"
+}
+
+func (p ranked) readsAffinity() bool { return !p.blind }
+
+func (p ranked) Pick(views []GridView, exclude int) int {
 	best, bestScore := -1, 0.0
 	for _, v := range views {
 		if v.Index == exclude && len(views) > 1 {
@@ -130,6 +176,9 @@ func (ranked) Pick(views []GridView, exclude int) int {
 		}
 		score := (v.Telemetry.SubmitEWMA.Seconds()+rankFloor)*(1+float64(v.Load.PendingSubmits)) +
 			v.Telemetry.QueueEWMA.Seconds()*(1+queued)
+		if !p.blind {
+			score += v.XferEst.Seconds()
+		}
 		if best < 0 || score < bestScore {
 			best, bestScore = v.Index, score
 		}
@@ -147,6 +196,8 @@ func Pinned(index int) Policy { return pinned{index} }
 type pinned struct{ index int }
 
 func (p pinned) Name() string { return fmt.Sprintf("pinned:%d", p.index) }
+
+func (p pinned) readsAffinity() bool { return false }
 
 func (p pinned) Pick(views []GridView, exclude int) int {
 	idx := p.index

@@ -1,31 +1,130 @@
 package grid
 
-import "sort"
+import (
+	"sort"
+	"time"
+)
 
-// Catalog is the replica catalog: it maps Grid File Names (GFNs) to file
-// sizes. Locations are abstracted away — the transfer model only needs
-// sizes — but the registration discipline is the real one: a job may only
-// consume files that have been registered, and registers its outputs on
-// completion, which is how data dependencies propagate through the grid.
+// Replica is one physical copy of a registered file, pinned to a site (or
+// unplaced, for files registered through the location-free path).
+type Replica struct {
+	// Site is where the copy lives. The zero site means "unplaced": the
+	// replica is treated as local to every consumer.
+	Site Site
+	// SizeMB is the file size in MB (identical across replicas of one
+	// GFN).
+	SizeMB float64
+}
+
+// catEntry is one GFN's replica set. Replicas are kept sorted by site key
+// with at most one replica per site, so every traversal — best-replica
+// selection, Replicas, stage planning — is deterministic regardless of
+// registration order.
+type catEntry struct {
+	sizeMB float64
+	reps   []Replica
+}
+
+// Catalog is the replica catalog: it maps Grid File Names (GFNs) to
+// replica sets, each replica pinned to a site (a cluster's close storage
+// element, or unplaced for the location-free compatibility path). The
+// registration discipline is the real one: a job may only consume files
+// that have been registered, and registers its outputs on completion at
+// the site that produced them, which is how both data dependencies and
+// data locality propagate through the grid. A LinkModel attached to the
+// catalog prices the movement of a replica to a consuming site; stage-in
+// picks the cheapest replica under that model.
 type Catalog struct {
-	files map[string]float64
+	files map[string]*catEntry
+	links LinkModel
 }
 
-// NewCatalog returns an empty catalog.
+// NewCatalog returns an empty catalog with the all-local link model
+// (LocalLinks): until a federation attaches a real topology via SetLinks,
+// every replica is as good as any other and the transfer model reduces to
+// the location-blind one.
 func NewCatalog() *Catalog {
-	return &Catalog{files: make(map[string]float64)}
+	return &Catalog{files: make(map[string]*catEntry), links: LocalLinks()}
 }
 
-// Register records a file and its size in MB. Re-registering overwrites,
-// matching LCG2 semantics where a GFN points at the latest replica set.
+// SetLinks attaches the link model that prices replica movement. A nil
+// model resets to LocalLinks. Federations call this once at construction;
+// swapping models mid-run is legal but changes stage-in costs from that
+// virtual instant on.
+func (c *Catalog) SetLinks(lm LinkModel) {
+	if lm == nil {
+		lm = LocalLinks()
+	}
+	c.links = lm
+}
+
+// Links returns the link model pricing replica movement.
+func (c *Catalog) Links() LinkModel { return c.links }
+
+// AllLocal reports whether the attached link model is the all-local one,
+// under which every fetch estimate is provably zero — the matchmaker's
+// and the federation broker's licence to skip stage planning entirely on
+// their ranking hot paths.
+func (c *Catalog) AllLocal() bool {
+	_, ok := c.links.(localLinks)
+	return ok
+}
+
+// Register records a file and its size in MB as a single unplaced
+// replica, the location-free compatibility path: an unplaced replica is
+// local to every consumer, so single-grid code that never names locations
+// keeps its exact pre-locality transfer behaviour. Re-registering
+// replaces the whole replica set, matching LCG2 semantics where a GFN
+// points at the latest replica set.
 func (c *Catalog) Register(name string, sizeMB float64) {
-	c.files[name] = sizeMB
+	c.RegisterAt(name, sizeMB, Site{})
+}
+
+// RegisterAt records a file as a single replica at the given site,
+// replacing any previous replica set for the name. Completed jobs use it
+// to register their outputs at the cluster that produced them.
+func (c *Catalog) RegisterAt(name string, sizeMB float64, site Site) {
+	c.files[name] = &catEntry{sizeMB: sizeMB, reps: []Replica{{Site: site, SizeMB: sizeMB}}}
+}
+
+// AddReplica records an additional copy of an already-registered file at
+// the given site, reporting false (and changing nothing) when the name is
+// unknown. Adding a replica at a site that already holds one is a no-op.
+func (c *Catalog) AddReplica(name string, site Site) bool {
+	e, ok := c.files[name]
+	if !ok {
+		return false
+	}
+	key := site.key()
+	i := sort.Search(len(e.reps), func(i int) bool { return e.reps[i].Site.key() >= key })
+	if i < len(e.reps) && e.reps[i].Site == site {
+		return true
+	}
+	e.reps = append(e.reps, Replica{})
+	copy(e.reps[i+1:], e.reps[i:])
+	e.reps[i] = Replica{Site: site, SizeMB: e.sizeMB}
+	return true
+}
+
+// Replicas returns a copy of the file's replica set in deterministic site
+// order (nil for an unregistered name).
+func (c *Catalog) Replicas(name string) []Replica {
+	e, ok := c.files[name]
+	if !ok {
+		return nil
+	}
+	out := make([]Replica, len(e.reps))
+	copy(out, e.reps)
+	return out
 }
 
 // Lookup returns the size of a registered file.
 func (c *Catalog) Lookup(name string) (sizeMB float64, ok bool) {
-	sizeMB, ok = c.files[name]
-	return sizeMB, ok
+	e, ok := c.files[name]
+	if !ok {
+		return 0, false
+	}
+	return e.sizeMB, true
 }
 
 // Has reports whether the file is registered.
@@ -45,4 +144,78 @@ func (c *Catalog) Names() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// best returns the cheapest replica of the file for a consumer at site
+// `to` under the catalog's link model, with its link. Replica selection is
+// deterministic: the estimated fetch cost (Link.Cost) is minimized, and
+// ties — every local replica ties at zero — resolve to the first replica
+// in site-key order.
+func (c *Catalog) best(name string, to Site) (Replica, Link, bool) {
+	e, ok := c.files[name]
+	if !ok {
+		return Replica{}, Link{}, false
+	}
+	bestRep, bestLink := e.reps[0], c.links.Link(e.reps[0].Site, to)
+	bestCost := bestLink.Cost(e.sizeMB)
+	for _, rep := range e.reps[1:] {
+		if bestCost == 0 {
+			break // a local replica cannot be beaten
+		}
+		link := c.links.Link(rep.Site, to)
+		if cost := link.Cost(e.sizeMB); cost < bestCost {
+			bestRep, bestLink, bestCost = rep, link, cost
+		}
+	}
+	return bestRep, bestLink, true
+}
+
+// StagePlan is the resolved transfer work of one job's input set at a
+// consuming site: for every input the cheapest replica was chosen under
+// the catalog's link model, and the inputs are partitioned into the local
+// class (staged through the consuming cluster's close-SE link, exactly as
+// the location-blind model staged everything) and the remote class
+// (fetched over intra-grid/WAN links first, at the link's own bandwidth
+// and per-file latency).
+type StagePlan struct {
+	// LocalMB and LocalFiles cover inputs whose chosen replica is local
+	// to the consumer.
+	LocalMB    float64
+	LocalFiles int
+	// RemoteMB and RemoteFiles cover inputs fetched over non-local links.
+	RemoteMB    float64
+	RemoteFiles int
+	// RemoteTime is the serialized fetch time of the remote class: the
+	// sum over remote inputs of the chosen link's latency plus
+	// size/bandwidth.
+	RemoteTime time.Duration
+	// Missing is the first input (in declaration order) absent from the
+	// catalog; the plan is unusable when it is non-empty.
+	Missing string
+}
+
+// Plan resolves the inputs against the replica catalog for a consumer at
+// site `to`: each input's cheapest replica is chosen and classified. The
+// first unregistered input aborts planning and is reported in
+// StagePlan.Missing. Plan is read-only and deterministic, so brokers and
+// cluster rankers use it for cost estimates with exactly the semantics
+// stage-in will pay.
+func (c *Catalog) Plan(inputs []string, to Site) StagePlan {
+	var p StagePlan
+	for _, name := range inputs {
+		rep, link, ok := c.best(name, to)
+		if !ok {
+			p.Missing = name
+			return p
+		}
+		if link.Local {
+			p.LocalMB += rep.SizeMB
+			p.LocalFiles++
+		} else {
+			p.RemoteMB += rep.SizeMB
+			p.RemoteFiles++
+			p.RemoteTime += link.Cost(rep.SizeMB)
+		}
+	}
+	return p
 }

@@ -13,12 +13,18 @@ import (
 type cluster struct {
 	g        *Grid
 	cfg      ClusterConfig
+	site     Site // the close SE's location: {grid name, cluster name}
 	nodes    *sim.Resource
 	link     *sim.Resource
 	rnd      *rng.Source
 	bgJobs   uint64 // background jobs started
 	fgJobs   uint64 // foreground (workflow) attempts executed
 	fgFailed uint64
+	// remoteMB / remoteFetches account input bytes (and file fetches)
+	// pulled over non-local links because no replica sat behind the close
+	// SE — the per-cluster face of the WAN transfer model.
+	remoteMB      float64
+	remoteFetches uint64
 }
 
 func newCluster(g *Grid, cfg ClusterConfig, rnd *rng.Source) *cluster {
@@ -32,6 +38,7 @@ func newCluster(g *Grid, cfg ClusterConfig, rnd *rng.Source) *cluster {
 	return &cluster{
 		g:     g,
 		cfg:   cfg,
+		site:  Site{Grid: g.cfg.Name, Cluster: cfg.Name},
 		nodes: sim.NewResource(g.Eng, cfg.Nodes),
 		link:  sim.NewResource(g.Eng, streams),
 		rnd:   rnd,
@@ -47,10 +54,34 @@ func newCluster(g *Grid, cfg ClusterConfig, rnd *rng.Source) *cluster {
 const rankFloor = 0.05
 
 // rank estimates how long a new job would wait here: queue backlog scaled
-// by pool size, perturbed by the caller-provided noise factor.
-func (c *cluster) rank(noise float64) float64 {
+// by pool size, perturbed by the caller-provided noise factor, plus the
+// data-proximity term — the estimated seconds of non-local input fetching
+// the job would pay at this cluster, weighted by
+// Config.DataProximityWeight. The proximity term is added after the noise
+// so that clusters differing only in backlog keep their pre-locality
+// ranking exactly (the estimate is a constant across clusters whenever the
+// job's replicas are unplaced, local everywhere, or on another grid
+// entirely — argmin unchanged).
+func (c *cluster) rank(noise, fetchSeconds float64) float64 {
 	backlog := float64(c.nodes.Waiting()+c.nodes.Busy()) / float64(c.cfg.Nodes)
-	return (backlog + rankFloor) * noise
+	return (backlog+rankFloor)*noise + c.g.cfg.DataProximityWeight*fetchSeconds
+}
+
+// fetchEstimate returns the estimated seconds of non-local input fetching
+// a job with these inputs would pay at this cluster — the data-proximity
+// signal of the broker's cluster ranking. A plan with a missing input
+// estimates zero rather than its partial sum: the job will fail at
+// stage-in wherever it lands, so the partial cost must not steer the
+// cluster choice.
+func (c *cluster) fetchEstimate(inputs []string) float64 {
+	if len(inputs) == 0 {
+		return 0
+	}
+	p := c.g.catalog.Plan(inputs, c.site)
+	if p.Missing != "" {
+		return 0
+	}
+	return p.RemoteTime.Seconds()
 }
 
 // enqueue places a job attempt in the batch queue. finished(failed) is
@@ -69,27 +100,42 @@ func (c *cluster) enqueue(rec *JobRecord, finished func(failed bool)) {
 	})
 }
 
-// stageIn transfers the job's input files from the storage element, then
+// stageIn transfers the job's input files from the storage elements, then
 // computes, then stages outputs back. The node is held throughout, as on
-// LCG2 where the job wrapper performs staging on the worker node.
+// LCG2 where the job wrapper performs staging on the worker node. For
+// every input the cheapest replica under the catalog's link model is
+// chosen; inputs local to this cluster's close SE move over the shared
+// close-SE link exactly as the location-blind model moved everything,
+// while non-local inputs are first fetched over their intra-grid/WAN
+// links, serialized per job at the link's own bandwidth and per-file
+// latency. When the plan has no remote class, the event schedule is
+// bit-identical to the pre-locality one (no extra event is inserted), the
+// backwards-compatibility invariant the single-grid goldens pin.
 func (c *cluster) stageIn(rec *JobRecord, finished func(failed bool)) {
-	var totalMB float64
-	for _, name := range rec.Spec.Inputs {
-		size, ok := c.g.catalog.Lookup(name)
-		if !ok {
-			// A stage-in failure is a failed attempt like any other and
-			// must show up in the per-cluster failure accounting.
-			c.fgFailed++
-			rec.Err = &FileError{Job: rec.Spec.Name, File: name, Err: ErrNoSuchFile}
-			c.release(rec, true, finished)
-			return
-		}
-		totalMB += size
+	plan := c.g.catalog.Plan(rec.Spec.Inputs, c.site)
+	if plan.Missing != "" {
+		// A stage-in failure is a failed attempt like any other and
+		// must show up in the per-cluster failure accounting.
+		c.fgFailed++
+		rec.Err = &FileError{Job: rec.Spec.Name, File: plan.Missing, Err: ErrNoSuchFile}
+		c.release(rec, true, finished)
+		return
 	}
-	c.transfer(totalMB, len(rec.Spec.Inputs), func() {
-		rec.InputDone = c.g.Eng.Now()
-		c.compute(rec, finished)
-	})
+	rec.LocalInMB, rec.RemoteInMB = plan.LocalMB, plan.RemoteMB
+	rec.RemoteFetch = plan.RemoteTime
+	local := func() {
+		c.transfer(plan.LocalMB, plan.LocalFiles, func() {
+			rec.InputDone = c.g.Eng.Now()
+			c.compute(rec, finished)
+		})
+	}
+	if plan.RemoteFiles == 0 {
+		local()
+		return
+	}
+	c.remoteMB += plan.RemoteMB
+	c.remoteFetches += uint64(plan.RemoteFiles)
+	c.g.Eng.Schedule(plan.RemoteTime, local)
 }
 
 func (c *cluster) compute(rec *JobRecord, finished func(failed bool)) {

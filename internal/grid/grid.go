@@ -77,6 +77,12 @@ type FailureConfig struct {
 
 // Config assembles a grid.
 type Config struct {
+	// Name identifies the grid as a data location: replicas registered by
+	// this grid's jobs carry it in their Site.Grid, and link models class
+	// transfers as intra-grid or WAN by comparing it. A federation names
+	// its members; standalone grids may leave it empty (all their
+	// replicas then share the "" grid and stay intra-grid to each other).
+	Name      string
 	Clusters  []ClusterConfig
 	Overheads OverheadConfig
 	Failures  FailureConfig
@@ -92,7 +98,24 @@ type Config struct {
 	// else. The default (false) drains tenants round-robin. With a single
 	// tenant the two policies are identical.
 	StrictFIFOSubmit bool
-	Seed             uint64
+	// TenantWeights gives fair-share weights to named tenants: the gate
+	// drains a tenant with weight k up to k submissions per round-robin
+	// round before moving on, so tenant A with weight 2 clears the UI
+	// twice as often as weight-1 tenants under contention. Absent or
+	// sub-1 entries mean weight 1; with no weights (or one tenant) the
+	// gate is the plain round-robin it always was. Ignored under
+	// StrictFIFOSubmit.
+	TenantWeights map[string]int
+	// DataProximityWeight is the weight of the data-proximity term in the
+	// broker's cluster ranking: each cluster's rank grows by Weight ×
+	// (estimated seconds of non-local input fetching a job would pay
+	// there), so clusters whose close SE already holds the job's inputs
+	// win ties against equally-loaded remote ones. Zero disables the
+	// term. With the default all-local link model the estimate is zero
+	// everywhere, so the term only acts once a real topology is attached
+	// to the catalog.
+	DataProximityWeight float64
+	Seed                uint64
 }
 
 // DefaultConfig returns a production-grid model: ten clusters, ~1380
@@ -143,7 +166,12 @@ func DefaultConfig() Config {
 		},
 		BrokerSlots:       4,
 		BackgroundHorizon: 14 * 24 * time.Hour,
-		Seed:              1,
+		// 100 s of estimated extra fetching outranks one fully-loaded
+		// node of backlog — strong enough to steer jobs towards their
+		// data once a link topology is attached, invisible (zero
+		// estimate) before that.
+		DataProximityWeight: 0.01,
+		Seed:                1,
 	}
 }
 
@@ -185,6 +213,7 @@ type Grid struct {
 	subQueues  map[string]*submitQueue
 	subRing    []string // tenants in first-submission order
 	subRR      int      // next ring slot to serve
+	subServed  int      // submissions served to slot subRR this round
 	subPending int      // accepted, UI latency not yet paid
 	uiBusy     bool
 }
@@ -236,6 +265,10 @@ func NewWithCatalog(eng *sim.Engine, cfg Config, cat *Catalog) *Grid {
 // the grid where campaigns pass a tenant handle.
 func (g *Grid) Catalog() *Catalog { return g.catalog }
 
+// Name returns the grid's configured name — the Site.Grid component of
+// every replica its jobs register (empty for an unnamed standalone grid).
+func (g *Grid) Name() string { return g.cfg.Name }
+
 // Config returns the configuration the grid was built from.
 func (g *Grid) Config() Config { return g.cfg }
 
@@ -260,6 +293,18 @@ func (g *Grid) BusyNodes() int {
 		n += c.nodes.Busy()
 	}
 	return n
+}
+
+// RemoteInMB returns the input bytes this grid's job attempts actually
+// fetched over non-local links, summed across clusters — failed and
+// resubmitted attempts included, which is what distinguishes it from the
+// completed-jobs-only federation.Telemetry.RemoteInMB observation.
+func (g *Grid) RemoteInMB() float64 {
+	var mb float64
+	for _, c := range g.clusters {
+		mb += c.remoteMB
+	}
+	return mb
 }
 
 // QueuedJobs returns the number of jobs waiting in batch queues.
@@ -320,6 +365,12 @@ type ClusterStat struct {
 	ForegroundFailed uint64
 	// BackgroundJobs counts multi-user background jobs started.
 	BackgroundJobs uint64
+	// RemoteInMB accumulates input bytes attempts at this cluster fetched
+	// over non-local links (intra-grid or WAN) because no replica was
+	// behind the close SE.
+	RemoteInMB float64
+	// RemoteFetches counts the non-local input fetches behind RemoteInMB.
+	RemoteFetches uint64
 }
 
 // ClusterStats returns per-cluster accounting, in configuration order.
@@ -331,9 +382,20 @@ func (g *Grid) ClusterStats() []ClusterStat {
 			ForegroundJobs:   c.fgJobs,
 			ForegroundFailed: c.fgFailed,
 			BackgroundJobs:   c.bgJobs,
+			RemoteInMB:       c.remoteMB,
+			RemoteFetches:    c.remoteFetches,
 		}
 	}
 	return out
+}
+
+// tenantWeight returns the tenant's fair-share weight (1 unless raised by
+// Config.TenantWeights).
+func (g *Grid) tenantWeight(tenant string) int {
+	if w := g.cfg.TenantWeights[tenant]; w > 1 {
+		return w
+	}
+	return 1
 }
 
 func (g *Grid) drawLogNormal(mean, sd time.Duration) time.Duration {

@@ -79,6 +79,16 @@ type JobRecord struct {
 	InputDone sim.Time // input staging finished (last attempt)
 	Completed sim.Time // terminal instant (success or final failure)
 
+	// LocalInMB and RemoteInMB partition the input bytes of the last
+	// attempt's stage-in by the chosen replicas' links: local bytes moved
+	// over the executing cluster's close-SE link, remote bytes were
+	// fetched over intra-grid/WAN links first.
+	LocalInMB  float64
+	RemoteInMB float64
+	// RemoteFetch is the serialized non-local fetch time the last attempt
+	// paid before its close-SE transfer (zero when every input was local).
+	RemoteFetch time.Duration
+
 	Err error
 }
 
@@ -188,6 +198,10 @@ func (g *Grid) submit(tenant string, spec JobSpec, done func(*JobRecord)) *JobRe
 // drains the per-tenant queues round-robin (fair share): a burst-submitting
 // tenant occupies only its own queue, so the other tenants' submissions
 // keep interleaving one-for-one instead of waiting behind the whole burst.
+// A tenant with a Config.TenantWeights weight k > 1 is drained up to k
+// submissions per round before the gate advances, so higher-priority
+// tenants clear the UI proportionally more often under contention (with
+// weight 1 everywhere the drain order is the historical one exactly).
 // With a single tenant the gate degenerates to the plain FIFO of a
 // tenancy-unaware UI; Config.StrictFIFOSubmit restores that global FIFO
 // even across tenants, for fairness comparisons.
@@ -218,7 +232,16 @@ func (g *Grid) pumpSubmits() {
 	}
 	ps := g.subQueues[g.subRing[pick]].pop()
 	if !g.cfg.StrictFIFOSubmit {
-		g.subRR = (pick + 1) % len(g.subRing)
+		if pick != g.subRR {
+			// The ring moved past empty queues: the served counter belongs
+			// to the newly-current slot.
+			g.subRR, g.subServed = pick, 0
+		}
+		g.subServed++
+		if g.subServed >= g.tenantWeight(g.subRing[pick]) {
+			g.subRR = (pick + 1) % len(g.subRing)
+			g.subServed = 0
+		}
 	}
 
 	// One job at a time pays the submit latency, inflated by the
@@ -254,7 +277,7 @@ func (g *Grid) match(rec *JobRecord, done func(*JobRecord)) {
 	g.broker.Acquire(func() {
 		g.Eng.Schedule(g.drawLogNormal(g.cfg.Overheads.BrokerMean, g.cfg.Overheads.BrokerSD), func() {
 			g.broker.Release()
-			c := g.pickCluster()
+			c := g.pickCluster(rec.Spec.Inputs)
 			rec.Status = StatusMatched
 			rec.Matched = g.Eng.Now()
 			rec.Cluster = c.cfg.Name
@@ -271,8 +294,14 @@ func (g *Grid) settle(rec *JobRecord, failed bool, done func(*JobRecord)) {
 	if !failed {
 		rec.Status = StatusCompleted
 		rec.Completed = g.Eng.Now()
+		// Outputs become replicas at the site that produced them: the
+		// cluster whose close SE received the output staging. This is how
+		// locality propagates through a workflow — a downstream job
+		// brokered to the same place stages for free, one brokered across
+		// the WAN pays the link.
+		site := Site{Grid: g.cfg.Name, Cluster: rec.Cluster}
 		for _, out := range rec.Spec.Outputs {
-			g.catalog.Register(out.Name, out.SizeMB)
+			g.catalog.RegisterAt(out.Name, out.SizeMB, site)
 		}
 		done(rec)
 		return
@@ -291,13 +320,26 @@ func (g *Grid) settle(rec *JobRecord, failed bool, done func(*JobRecord)) {
 }
 
 // pickCluster ranks computing elements the way the LCG2 broker does: by
-// estimated time to drain their queue, with matchmaking noise (the broker's
-// view of queue states is stale in production).
-func (g *Grid) pickCluster() *cluster {
+// estimated time to drain their queue, with matchmaking noise (the
+// broker's view of queue states is stale in production), plus the
+// data-proximity term — the matchmaker prefers, all else equal, a cluster
+// whose close SE already holds the job's input replicas. The proximity
+// estimates are skipped entirely (not just zero-weighted) when the weight
+// is zero, the job has no inputs, or the catalog's link model is the
+// all-local one (a standalone grid's default), so the location-blind
+// configuration pays nothing for the feature on this hot path.
+func (g *Grid) pickCluster(inputs []string) *cluster {
+	proximity := g.cfg.DataProximityWeight > 0 && len(inputs) > 0 && !g.catalog.AllLocal()
+	fetch := func(c *cluster) float64 {
+		if !proximity {
+			return 0
+		}
+		return c.fetchEstimate(inputs)
+	}
 	best := g.clusters[0]
-	bestRank := best.rank(g.rnd.Uniform(0.7, 1.3))
+	bestRank := best.rank(g.rnd.Uniform(0.7, 1.3), fetch(best))
 	for _, c := range g.clusters[1:] {
-		if r := c.rank(g.rnd.Uniform(0.7, 1.3)); r < bestRank {
+		if r := c.rank(g.rnd.Uniform(0.7, 1.3), fetch(c)); r < bestRank {
 			best, bestRank = c, r
 		}
 	}

@@ -1,0 +1,140 @@
+package grid
+
+import "time"
+
+// Site identifies a storage location: a computing element's close storage
+// element within a named grid. The zero Site is the "unplaced" location of
+// a file registered through the location-free compatibility path
+// (Catalog.Register): every link model must treat an unplaced replica as
+// local to any consumer, which is what keeps single-grid code that never
+// names locations behaving exactly as before the catalog learned about
+// them.
+type Site struct {
+	// Grid names the infrastructure the replica lives on (Config.Name;
+	// empty for a standalone grid built without a name).
+	Grid string
+	// Cluster names the computing element whose close SE holds the
+	// replica (empty when only the grid is known, e.g. a broker's view of
+	// a member grid as a whole).
+	Cluster string
+}
+
+// IsZero reports whether the site is the unplaced location.
+func (s Site) IsZero() bool { return s == Site{} }
+
+// key returns the site's deterministic ordering key.
+func (s Site) key() string { return s.Grid + "\x00" + s.Cluster }
+
+// String renders the site as "grid/cluster" ("(unplaced)" for the zero
+// site).
+func (s Site) String() string {
+	if s.IsZero() {
+		return "(unplaced)"
+	}
+	return s.Grid + "/" + s.Cluster
+}
+
+// Link describes one edge of the transfer topology: the cost of moving a
+// file from a replica's site to a consuming worker node.
+type Link struct {
+	// Local marks the replica as reachable through the consuming
+	// cluster's close-SE link: the transfer is paid on that link's shared
+	// streams at the cluster's own bandwidth, exactly as the pre-locality
+	// transfer model did for every file. MBps and Latency are ignored.
+	Local bool
+	// MBps is the link bandwidth for a non-local fetch. Zero means the
+	// fetch costs only its latency.
+	MBps float64
+	// Latency is the fixed per-file setup cost of a non-local fetch.
+	Latency time.Duration
+}
+
+// Cost returns the estimated wall time of fetching sizeMB over the link
+// (zero for a local link — the close-SE cost is uniform across replicas
+// and is paid separately by the cluster's transfer phase).
+func (l Link) Cost(sizeMB float64) time.Duration {
+	if l.Local {
+		return 0
+	}
+	d := l.Latency
+	if l.MBps > 0 {
+		d += time.Duration(sizeMB / l.MBps * float64(time.Second))
+	}
+	return d
+}
+
+// LinkModel gives the link between a replica's site and a consuming site.
+// Implementations must be pure functions of their configuration and the
+// two sites: stage-in planning and broker ranking call Link at arbitrary
+// points of the event schedule, so any hidden state would break the
+// simulator's determinism. An unplaced replica (from.IsZero()) must map to
+// a local link.
+type LinkModel interface {
+	// Link returns the edge from the replica's site to the consumer.
+	Link(from, to Site) Link
+}
+
+// Links is the default three-class link model of an LCG2-style federation:
+// intra-cluster (the replica sits behind the consuming CE's close SE —
+// free beyond the close-SE transfer every job pays), intra-grid (another
+// CE of the same grid) and WAN (another grid of the federation), with
+// intra-cluster ≪ intra-grid ≪ WAN. A zero-valued class is treated as
+// local, so the zero Links value reproduces the location-blind transfer
+// model exactly.
+type Links struct {
+	// IntraGrid is the edge between two clusters of the same grid. The
+	// zero value treats intra-grid transfers as local (the default: the
+	// paper's close-SE abstraction already folds intra-grid movement into
+	// the cluster link).
+	IntraGrid Link
+	// WAN is the edge between two member grids of a federation. The zero
+	// value treats cross-grid transfers as local (the PR 3 shared-catalog
+	// behaviour, where federated staging was free).
+	WAN Link
+}
+
+// Link implements LinkModel: same cluster (or an unplaced replica) is
+// local, same grid is IntraGrid, anything else is WAN.
+func (l *Links) Link(from, to Site) Link {
+	if from.IsZero() || from == to {
+		return Link{Local: true}
+	}
+	if from.Grid == to.Grid && from.Cluster != "" && to.Cluster != "" && from.Cluster != to.Cluster {
+		return orLocal(l.IntraGrid)
+	}
+	if from.Grid == to.Grid {
+		// Same grid, but one side only knows the grid (a broker's view):
+		// resident on the grid means no WAN movement.
+		return Link{Local: true}
+	}
+	return orLocal(l.WAN)
+}
+
+// orLocal degrades a zero-valued link class to local.
+func orLocal(l Link) Link {
+	if !l.Local && l.MBps == 0 && l.Latency == 0 {
+		return Link{Local: true}
+	}
+	return l
+}
+
+// DefaultWAN returns the standard federation link model: intra-grid
+// transfers stay local (close-SE abstraction) and cross-grid fetches pay a
+// 2 MB/s WAN link with a 5 s per-file setup latency — 5× slower than the
+// default clusters' 10 MB/s close-SE links, so the broker has a real
+// data-movement cost to trade against middleware quality.
+func DefaultWAN() *Links {
+	return &Links{WAN: Link{MBps: 2, Latency: 5 * time.Second}}
+}
+
+// LocalLinks returns the link model that treats every replica as local:
+// the location-blind transfer model the catalog had before it learned
+// about sites (and the PR 3 federation's free cross-grid staging). It is
+// the compatibility escape hatch and the control arm of locality
+// experiments.
+func LocalLinks() LinkModel { return localLinks{} }
+
+type localLinks struct{}
+
+// Link implements LinkModel: everything is local.
+func (localLinks) Link(from, to Site) Link { return Link{Local: true} }

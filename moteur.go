@@ -188,7 +188,16 @@ var (
 	// SyntheticChain builds the standard campaign workload: a linear
 	// pipeline of wrapper-backed stages with tenant-unique file names.
 	SyntheticChain = campaign.SyntheticChain
+	// SyntheticChainPlaced is SyntheticChain with a skew fraction of the
+	// inputs registered as replicas at a home site (locality scenarios).
+	SyntheticChainPlaced = campaign.SyntheticChainPlaced
+	// RunCampaignAdmitted is RunCampaignOn's site-generic form with
+	// admission control: arrivals are gated on the site's UI backlog.
+	RunCampaignAdmitted = campaign.RunSiteAdmitted
 )
+
+// CampaignAdmission is the arrival-gating policy of an admitted campaign.
+type CampaignAdmission = campaign.Admission
 
 // Federated multi-grid brokering: N independently-configured grids behind
 // one submission handle, a pluggable broker policy picking the target
@@ -222,11 +231,41 @@ var (
 	// FederationLeastBacklog submits to the lowest-occupancy grid.
 	FederationLeastBacklog = federation.LeastBacklog
 	// FederationRanked scores grids by observed submission and queueing
-	// overhead EWMAs scaled by current backlog (the default policy).
+	// overhead EWMAs scaled by current backlog, plus the estimated cost
+	// of moving the job's data there (the default policy).
 	FederationRanked = federation.Ranked
+	// FederationRankedBlind is the ranked policy without the transfer-cost
+	// term — the control arm of locality experiments.
+	FederationRankedBlind = federation.RankedLocalityBlind
 	// FederationPinned sends everything to one grid (the single-grid
 	// baseline federated scenarios are compared against).
 	FederationPinned = federation.Pinned
+)
+
+// Data locality: the replica catalog pins files to sites and a link model
+// prices moving them (see internal/grid's catalog and link files).
+type (
+	// DataSite identifies a storage location: a cluster of a named grid.
+	DataSite = grid.Site
+	// DataLink is one edge of the transfer topology.
+	DataLink = grid.Link
+	// DataLinkModel prices replica movement between sites.
+	DataLinkModel = grid.LinkModel
+	// DataLinks is the default three-class link model (intra-cluster ≪
+	// intra-grid ≪ WAN).
+	DataLinks = grid.Links
+	// DataReplica is one physical copy of a registered file at a site.
+	DataReplica = grid.Replica
+)
+
+// Link-model constructors.
+var (
+	// DefaultWANLinks prices cross-grid fetches at a 2 MB/s, 5 s-latency
+	// WAN link (the federation default).
+	DefaultWANLinks = grid.DefaultWAN
+	// AllLocalLinks treats every replica as local — the location-blind
+	// transfer model (PR 3 free cross-grid staging).
+	AllLocalLinks = grid.LocalLinks
 )
 
 // Data identity.
