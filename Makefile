@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench campaign-bench federation-bench locality-bench clean help
+.PHONY: all build test vet bench campaign-bench federation-bench locality-bench wan-bench clean help
 
 all: vet build test
 
@@ -39,8 +39,15 @@ federation-bench:
 locality-bench:
 	$(GO) test -bench BenchmarkFederationLocality -benchmem -benchtime 2x -run '^$$' . | tee BENCH_4.json
 
+# Contended WAN fabric benchmark (the locality scenario with two
+# concurrent fetch legs per grid pair); two iterations so the in-benchmark
+# determinism assertion compares makespans, WAN byte counts and per-grid
+# WAN-wait seconds across runs.
+wan-bench:
+	$(GO) test -bench BenchmarkFederationContention -benchmem -benchtime 2x -run '^$$' . | tee BENCH_5.json
+
 clean:
-	rm -f BENCH_1.json BENCH_2.json BENCH_3.json BENCH_4.json
+	rm -f BENCH_1.json BENCH_2.json BENCH_3.json BENCH_4.json BENCH_5.json
 
 help:
 	@echo "Targets:"
@@ -52,4 +59,5 @@ help:
 	@echo "  campaign-bench   32-tenant shared-grid campaign        -> BENCH_2.json"
 	@echo "  federation-bench 4 grids x 16 tenants, ranked broker   -> BENCH_3.json"
 	@echo "  locality-bench   skewed replicas over a WAN, ranked    -> BENCH_4.json"
+	@echo "  wan-bench        contended per-pair WAN channels       -> BENCH_5.json"
 	@echo "  clean            remove BENCH_*.json"

@@ -597,6 +597,103 @@ func BenchmarkFederationLocality(b *testing.B) {
 	b.ReportMetric(float64(used), "grids_used")
 }
 
+// BenchmarkFederationContention measures the contended WAN fabric end to
+// end: the BenchmarkFederationLocality scenario (16 tenants with
+// grid-resident inputs across 4 heterogeneous grids, default WAN pricing)
+// with every ordered grid pair squeezed to two concurrent fetch legs
+// (Config.WANStreams = 2), so remote stage-ins queue on shared channels
+// and the broker's stretch telemetry actually learns. Per-tenant
+// makespans, per-grid dispatch counts, per-grid WAN bytes and per-grid
+// WAN-wait seconds are captured on the first iteration and asserted
+// identical on every subsequent one, so the benchmark doubles as a
+// contended-fabric determinism check; sim_s reports the campaign span,
+// jobs the federation-wide terminal job count, wan_mb the WAN bytes
+// moved, and wan_wait_s the total channel-wait time the fabric induced.
+func BenchmarkFederationContention(b *testing.B) {
+	const nGrids, nTenants, nServices, nD = 4, 16, 6, 60
+	mixes := []core.Options{
+		{ServiceParallelism: true, DataParallelism: true},
+		{ServiceParallelism: true, DataParallelism: true, JobGrouping: true},
+		{DataParallelism: true},
+		{ServiceParallelism: true, DataParallelism: true,
+			DataGroupSize: 8, DataGroupWindow: 2 * time.Minute},
+	}
+	var firstMakespans []time.Duration
+	var firstWAN []float64
+	var firstWait []time.Duration
+	var span time.Duration
+	var jobs int
+	var wanMB float64
+	var wanWait time.Duration
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		fed, err := federation.New(eng, federation.Config{
+			Grids:      federation.HeterogeneousSpecs(nGrids, 1),
+			Policy:     federation.Ranked(),
+			Rebroker:   1,
+			WANStreams: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		specs := make([]campaign.TenantSpec, nTenants)
+		for j := 0; j < nTenants; j++ {
+			home := grid.Site{Grid: fed.GridName(j % nGrids)}
+			specs[j] = campaign.TenantSpec{
+				Name:    fmt.Sprintf("t%02d", j),
+				Arrival: time.Duration(j) * time.Minute,
+				Opts:    mixes[j%len(mixes)],
+				Build:   campaign.SyntheticChainPlaced(nServices, nD, 2*time.Minute, 5, home, 1),
+			}
+		}
+		rep, err := campaign.RunFederated(eng, fed, specs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		makespans := make([]time.Duration, len(rep.Tenants))
+		for j, tr := range rep.Tenants {
+			if tr.Err != nil {
+				b.Fatalf("tenant %s: %v", tr.Name, tr.Err)
+			}
+			makespans[j] = tr.Makespan
+		}
+		wan := make([]float64, fed.Size())
+		wait := make([]time.Duration, fed.Size())
+		wanMB, wanWait = 0, 0
+		for j := range wan {
+			wan[j], wait[j] = fed.Grid(j).RemoteInMB(), fed.Grid(j).WANWait()
+			wanMB += wan[j]
+			wanWait += wait[j]
+		}
+		if firstMakespans == nil {
+			firstMakespans, firstWAN, firstWait = makespans, wan, wait
+		} else {
+			for j := range makespans {
+				if makespans[j] != firstMakespans[j] {
+					b.Fatalf("tenant %d makespan not deterministic: %v vs %v",
+						j, makespans[j], firstMakespans[j])
+				}
+			}
+			for j := range wan {
+				if wan[j] != firstWAN[j] {
+					b.Fatalf("grid %d WAN bytes not deterministic: %v vs %v",
+						j, wan[j], firstWAN[j])
+				}
+				if wait[j] != firstWait[j] {
+					b.Fatalf("grid %d WAN wait not deterministic: %v vs %v",
+						j, wait[j], firstWait[j])
+				}
+			}
+		}
+		span = rep.Makespan
+		jobs = rep.Global.Jobs + rep.Global.Failed
+	}
+	b.ReportMetric(span.Seconds(), "sim_s")
+	b.ReportMetric(float64(jobs), "jobs")
+	b.ReportMetric(wanMB, "wan_mb")
+	b.ReportMetric(wanWait.Seconds(), "wan_wait_s")
+}
+
 // BenchmarkGridThroughput measures the raw event rate of the grid
 // simulator: jobs completed per wall second under burst submission.
 func BenchmarkGridThroughput(b *testing.B) {

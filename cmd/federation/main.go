@@ -10,17 +10,24 @@
 //
 // Data locality is first-class: a -skew fraction of each tenant's inputs
 // is placed on its home grid (homes rotate across members), cross-grid
-// fetches pay the -wan/-wanlat link, and the wan_mb column reports the
-// bytes each policy actually moved. The -locality mode sweeps replica
-// skew × WAN bandwidth over the locality-aware ranked policy, its
-// locality-blind control and least-backlog, mapping out when data-aware
-// brokering pays.
+// fetches pay the -wan/-wanlat link (or a per-pair -pairs matrix), and
+// the wan_mb column reports the bytes each policy actually moved. The
+// WAN can be made a contended fabric with -wanstreams: each ordered grid
+// pair becomes a capacity-limited shared channel, concurrent fetches
+// queue, and the wan_wait column reports the induced queueing. A member
+// grid can be taken dark mid-campaign with -outage: its in-flight jobs
+// fail and re-broker elsewhere, and no work is routed to it during the
+// window. The -locality mode sweeps replica skew × WAN bandwidth over
+// the locality-aware ranked policy, its locality-blind control and
+// least-backlog, mapping out when data-aware brokering pays.
 //
 // Examples:
 //
 //	federation                                  # sweep all policies, 4 grids × 16 tenants
 //	federation -grids 2 -tenants 8 -policies ranked,backlog
-//	federation -policies ranked,ranked-blind -skew 1 -wan 0.5
+//	federation -policies ranked,ranked-blind -skew 1 -wan 0.5 -wanstreams 1
+//	federation -policies ranked,rr -outage grid01@2h+90m -rebroker 2
+//	federation -pairs 'grid00>grid01=1:10s,grid01>grid00=8:1s' -skew 1
 //	federation -locality -skews 0,0.5,1 -wans 0.5,2,8
 //	federation -policies ranked,pinned:3 -v     # acceptance comparison + per-grid tables
 package main
@@ -49,51 +56,100 @@ var mixes = []core.Options{
 	{ServiceParallelism: true, DataParallelism: true, DataGroupSize: 4, DataGroupWindow: time.Minute},
 }
 
+// sweep carries the scenario knobs shared by every run of one
+// invocation: infrastructure shape, workload shape, link topology,
+// contention and outage schedule.
+type sweep struct {
+	grids, tenants, servs, items int
+	runtime                      time.Duration
+	fileMB                       float64
+	spread                       time.Duration
+	seed                         uint64
+	rebroker                     int
+	skew                         float64
+	links                        grid.LinkModel
+	wanStreams                   int
+	outages                      []federation.Outage
+}
+
 func main() {
 	var (
-		grids    = flag.Int("grids", 4, "number of member grids in the federation")
-		tenants  = flag.Int("tenants", 16, "number of concurrent tenants")
-		servs    = flag.Int("services", 4, "pipeline stages per tenant workflow")
-		items    = flag.Int("items", 20, "input data items per tenant")
-		runtime  = flag.Duration("runtime", 2*time.Minute, "per-stage compute time")
-		fileMB   = flag.Float64("filemb", 5, "input/intermediate file size (MB)")
-		spread   = flag.Duration("spread", time.Minute, "arrival stagger between tenants")
-		seed     = flag.Uint64("seed", 1, "base random seed (grid i uses seed+i)")
-		rebroker = flag.Int("rebroker", 1, "cross-grid resubmissions after terminal failure")
-		policies = flag.String("policies", "ranked,backlog,rr,pinned:0", "comma-separated policies to sweep (ranked|ranked-blind|backlog|rr|pinned:N)")
-		skew     = flag.Float64("skew", 0, "fraction of each tenant's inputs placed on its home grid (homes rotate across members)")
-		wan      = flag.Float64("wan", 2, "WAN bandwidth between member grids (MB/s; 0 keeps cross-grid staging free)")
-		wanLat   = flag.Duration("wanlat", 5*time.Second, "per-file WAN fetch setup latency")
-		locality = flag.Bool("locality", false, "run the locality sweep (replica skew × WAN bandwidth, aware vs blind vs backlog) instead of the policy sweep")
-		skews    = flag.String("skews", "0,0.5,1", "comma-separated skew values of the locality sweep")
-		wans     = flag.String("wans", "0.5,2,8", "comma-separated WAN bandwidths (MB/s) of the locality sweep")
-		verbose  = flag.Bool("v", false, "print the per-grid dispatch and telemetry table per policy")
+		grids      = flag.Int("grids", 4, "number of member grids in the federation")
+		tenants    = flag.Int("tenants", 16, "number of concurrent tenants")
+		servs      = flag.Int("services", 4, "pipeline stages per tenant workflow")
+		items      = flag.Int("items", 20, "input data items per tenant")
+		runtime    = flag.Duration("runtime", 2*time.Minute, "per-stage compute time")
+		fileMB     = flag.Float64("filemb", 5, "input/intermediate file size (MB)")
+		spread     = flag.Duration("spread", time.Minute, "arrival stagger between tenants")
+		seed       = flag.Uint64("seed", 1, "base random seed (grid i uses seed+i)")
+		rebroker   = flag.Int("rebroker", 1, "cross-grid resubmissions after terminal failure")
+		policies   = flag.String("policies", "ranked,backlog,rr,pinned:0", "comma-separated policies to sweep (ranked|ranked-blind|backlog|rr|pinned:N)")
+		skew       = flag.Float64("skew", 0, "fraction of each tenant's inputs placed on its home grid (homes rotate across members)")
+		wan        = flag.Float64("wan", 2, "WAN bandwidth between member grids (MB/s; 0 keeps cross-grid staging free)")
+		wanLat     = flag.Duration("wanlat", 5*time.Second, "per-file WAN fetch setup latency")
+		wanStreams = flag.Int("wanstreams", 0, "concurrent cross-grid fetches per ordered (from,to) grid pair (0 keeps the uncontended pure-delay WAN)")
+		outage     = flag.String("outage", "", "member-grid outage window, format name@start+duration (e.g. grid01@2h+90m; omit +duration for no recovery)")
+		pairs      = flag.String("pairs", "", "per-pair WAN link overrides, format from>to=MBps:latency[,...]; unlisted pairs fall back to -wan/-wanlat")
+		locality   = flag.Bool("locality", false, "run the locality sweep (replica skew × WAN bandwidth, aware vs blind vs backlog) instead of the policy sweep")
+		skews      = flag.String("skews", "0,0.5,1", "comma-separated skew values of the locality sweep")
+		wans       = flag.String("wans", "0.5,2,8", "comma-separated WAN bandwidths (MB/s) of the locality sweep")
+		verbose    = flag.Bool("v", false, "print the per-grid dispatch and telemetry table per policy")
 	)
 	flag.Parse()
 
+	s := sweep{
+		grids: *grids, tenants: *tenants, servs: *servs, items: *items,
+		runtime: *runtime, fileMB: *fileMB, spread: *spread,
+		seed: *seed, rebroker: *rebroker, skew: *skew,
+		links: links(*wan, *wanLat), wanStreams: *wanStreams,
+	}
+	if *pairs != "" {
+		lm, err := parsePairs(*pairs, s.links)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "federation: -pairs:", err)
+			os.Exit(2)
+		}
+		s.links = lm
+	}
+	if *outage != "" {
+		o, err := parseOutage(*outage)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "federation: -outage:", err)
+			os.Exit(2)
+		}
+		s.outages = []federation.Outage{o}
+	}
+
 	if *locality {
-		localitySweep(*grids, *tenants, *servs, *items, *runtime, *fileMB, *spread, *seed, *rebroker, *wanLat, *skews, *wans)
+		localitySweep(s, *wanLat, *skews, *wans)
 		return
 	}
 
-	var sweep []federation.Policy
+	var pols []federation.Policy
 	for _, name := range strings.Split(*policies, ",") {
-		p, err := parsePolicy(strings.TrimSpace(name), *grids)
+		p, err := parsePolicy(strings.TrimSpace(name), s.grids)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "federation:", err)
 			os.Exit(2)
 		}
-		sweep = append(sweep, p)
+		pols = append(pols, p)
 	}
 
-	fmt.Printf("federation sweep: %d tenants × %d-stage chains × %d items over %d heterogeneous grids (seed %d, rebroker %d, skew %.2f, wan %.1f MB/s)\n\n",
-		*tenants, *servs, *items, *grids, *seed, *rebroker, *skew, *wan)
-	fmt.Printf("%-16s %12s %12s %12s %6s %6s %10s %10s %6s\n",
-		"policy", "span", "p50", "p95", "jobs", "failed", "resubmits", "wan_mb", "grids")
+	fmt.Printf("federation sweep: %d tenants × %d-stage chains × %d items over %d heterogeneous grids (seed %d, rebroker %d, skew %.2f, wan %.1f MB/s, streams %d)\n",
+		s.tenants, s.servs, s.items, s.grids, s.seed, s.rebroker, s.skew, *wan, s.wanStreams)
+	if len(s.outages) > 0 {
+		o := s.outages[0]
+		if o.For > 0 {
+			fmt.Printf("outage: %s dark from %v to %v\n", o.Grid, o.At, o.At+o.For)
+		} else {
+			fmt.Printf("outage: %s dark from %v (no recovery)\n", o.Grid, o.At)
+		}
+	}
+	fmt.Printf("\n%-16s %12s %12s %12s %6s %6s %10s %10s %10s %6s\n",
+		"policy", "span", "p50", "p95", "jobs", "failed", "resubmits", "wan_mb", "wan_wait", "grids")
 
-	for _, policy := range sweep {
-		rep, fed := runOnce(policy, *grids, *tenants, *servs, *items, *runtime, *fileMB, *spread,
-			*seed, *rebroker, *skew, links(*wan, *wanLat))
+	for _, policy := range pols {
+		rep, fed := s.run(policy)
 		ms := make([]time.Duration, 0, len(rep.Tenants))
 		for _, tr := range rep.Tenants {
 			if tr.Err != nil {
@@ -105,24 +161,35 @@ func main() {
 		sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
 		used := 0
 		var wanMB float64
+		var wanWait time.Duration
 		for i := 0; i < fed.Size(); i++ {
 			if fed.Telemetry(i).Dispatched > 0 {
 				used++
 			}
-			// Bytes actually moved (failed attempts included), not the
-			// telemetry's completed-jobs observation.
+			// Bytes actually moved and waits actually paid (failed
+			// attempts included), not the telemetry's completed-jobs
+			// observation.
 			wanMB += fed.Grid(i).RemoteInMB()
+			wanWait += fed.Grid(i).WANWait()
 		}
-		fmt.Printf("%-16s %12v %12v %12v %6d %6d %10d %10.0f %3d/%d\n",
+		fmt.Printf("%-16s %12v %12v %12v %6d %6d %10d %10.0f %10v %3d/%d\n",
 			policy.Name(), rep.Makespan.Round(time.Second),
 			pct(ms, 50).Round(time.Second), pct(ms, 95).Round(time.Second),
-			rep.Global.Jobs, rep.Global.Failed, rep.Global.Resubmits, wanMB, used, fed.Size())
+			rep.Global.Jobs, rep.Global.Failed, rep.Global.Resubmits, wanMB,
+			wanWait.Round(time.Second), used, fed.Size())
 		if *verbose {
 			for i := 0; i < fed.Size(); i++ {
 				tl := fed.Telemetry(i)
-				fmt.Printf("    %-8s dispatched=%-5d observed=%-5d rebrokered=%-3d submitEWMA=%-8v queueEWMA=%-8v wan_mb=%.0f\n",
+				fmt.Printf("    %-8s dispatched=%-5d observed=%-5d rebrokered=%-3d submitEWMA=%-8v queueEWMA=%-8v stretch=%-6.2f wan_mb=%-8.0f wan_wait=%v\n",
 					fed.GridName(i), tl.Dispatched, tl.Observed, tl.Rebrokered,
-					tl.SubmitEWMA.Round(time.Second), tl.QueueEWMA.Round(time.Second), fed.Grid(i).RemoteInMB())
+					tl.SubmitEWMA.Round(time.Second), tl.QueueEWMA.Round(time.Second),
+					tl.Stretch(), fed.Grid(i).RemoteInMB(), fed.Grid(i).WANWait().Round(time.Second))
+			}
+			if fab := fed.Fabric(); fab != nil {
+				for _, ps := range fab.PairStats() {
+					fmt.Printf("    %s>%s cap=%d grants=%d peak_queue=%d\n",
+						ps.From, ps.To, ps.Capacity, ps.Grants, ps.PeakWaiting)
+				}
 			}
 		}
 	}
@@ -139,30 +206,30 @@ func links(wanMBps float64, wanLat time.Duration) grid.LinkModel {
 	return &grid.Links{WAN: grid.Link{MBps: wanMBps, Latency: wanLat}}
 }
 
-// runOnce enacts the standard tenant load on a fresh federation under one
-// policy and link model.
-func runOnce(policy federation.Policy, grids, tenants, servs, items int, runtime time.Duration,
-	fileMB float64, spread time.Duration, seed uint64, rebroker int, skew float64,
-	lm grid.LinkModel) (*campaign.Report, *federation.Federation) {
+// run enacts the standard tenant load on a fresh federation under one
+// policy.
+func (s sweep) run(policy federation.Policy) (*campaign.Report, *federation.Federation) {
 	eng := sim.NewEngine()
 	fed, err := federation.New(eng, federation.Config{
-		Grids:    federation.HeterogeneousSpecs(grids, seed),
-		Policy:   policy,
-		Rebroker: rebroker,
-		Links:    lm,
+		Grids:      federation.HeterogeneousSpecs(s.grids, s.seed),
+		Policy:     policy,
+		Rebroker:   s.rebroker,
+		Links:      s.links,
+		WANStreams: s.wanStreams,
+		Outages:    s.outages,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "federation:", err)
 		os.Exit(1)
 	}
-	specs := make([]campaign.TenantSpec, tenants)
+	specs := make([]campaign.TenantSpec, s.tenants)
 	for i := range specs {
-		home := grid.Site{Grid: fed.GridName(i % grids)}
+		home := grid.Site{Grid: fed.GridName(i % s.grids)}
 		specs[i] = campaign.TenantSpec{
 			Name:    fmt.Sprintf("t%02d", i),
-			Arrival: time.Duration(i) * spread,
+			Arrival: time.Duration(i) * s.spread,
 			Opts:    mixes[i%len(mixes)],
-			Build:   campaign.SyntheticChainPlaced(servs, items, runtime, fileMB, home, skew),
+			Build:   campaign.SyntheticChainPlaced(s.servs, s.items, s.runtime, s.fileMB, home, s.skew),
 		}
 	}
 	rep, err := campaign.RunFederated(eng, fed, specs)
@@ -176,8 +243,7 @@ func runOnce(policy federation.Policy, grids, tenants, servs, items int, runtime
 // localitySweep maps campaign span/p95 and WAN traffic over replica skew ×
 // WAN bandwidth for the locality-aware ranked policy, its locality-blind
 // control and least-backlog.
-func localitySweep(grids, tenants, servs, items int, runtime time.Duration, fileMB float64,
-	spread time.Duration, seed uint64, rebroker int, wanLat time.Duration, skews, wans string) {
+func localitySweep(s sweep, wanLat time.Duration, skews, wans string) {
 	skewVals, err := parseFloats(skews)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "federation: -skews:", err)
@@ -190,14 +256,31 @@ func localitySweep(grids, tenants, servs, items int, runtime time.Duration, file
 	}
 	pols := []federation.Policy{federation.Ranked(), federation.RankedLocalityBlind(), federation.LeastBacklog()}
 
-	fmt.Printf("locality sweep: %d tenants × %d-stage chains × %d items over %d heterogeneous grids (seed %d, wanlat %v)\n\n",
-		tenants, servs, items, grids, seed, wanLat)
-	fmt.Printf("%-5s %-8s %-16s %12s %12s %10s\n", "skew", "wanMBps", "policy", "span", "p95", "wan_mb")
+	fmt.Printf("locality sweep: %d tenants × %d-stage chains × %d items over %d heterogeneous grids (seed %d, wanlat %v, streams %d)\n",
+		s.tenants, s.servs, s.items, s.grids, s.seed, wanLat, s.wanStreams)
+	// An inherited -outage applies to every cell; without a banner the
+	// table would read as a clean locality experiment.
+	for _, o := range s.outages {
+		if o.For > 0 {
+			fmt.Printf("outage: %s dark from %v to %v\n", o.Grid, o.At, o.At+o.For)
+		} else {
+			fmt.Printf("outage: %s dark from %v (no recovery)\n", o.Grid, o.At)
+		}
+	}
+	fmt.Println()
+	fmt.Printf("%-5s %-8s %-16s %12s %12s %10s %10s\n", "skew", "wanMBps", "policy", "span", "p95", "wan_mb", "wan_wait")
 	for _, sk := range skewVals {
 		for _, w := range wanVals {
 			for _, pol := range pols {
-				rep, fed := runOnce(pol, grids, tenants, servs, items, runtime, fileMB, spread,
-					seed, rebroker, sk, links(w, wanLat))
+				run := s
+				run.skew, run.links = sk, links(w, wanLat)
+				// A -pairs matrix survives the sweep: its listed pairs
+				// stay fixed while the swept bandwidth replaces only the
+				// fallback for unlisted pairs.
+				if m, ok := s.links.(*grid.LinkMatrix); ok {
+					run.links = &grid.LinkMatrix{Pairs: m.Pairs, Fallback: links(w, wanLat)}
+				}
+				rep, fed := run.run(pol)
 				ms := make([]time.Duration, 0, len(rep.Tenants))
 				for _, tr := range rep.Tenants {
 					if tr.Err != nil {
@@ -208,12 +291,14 @@ func localitySweep(grids, tenants, servs, items int, runtime time.Duration, file
 				}
 				sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
 				var wanMB float64
+				var wanWait time.Duration
 				for i := 0; i < fed.Size(); i++ {
 					wanMB += fed.Grid(i).RemoteInMB()
+					wanWait += fed.Grid(i).WANWait()
 				}
-				fmt.Printf("%-5.2f %-8.1f %-16s %12v %12v %10.0f\n",
+				fmt.Printf("%-5.2f %-8.1f %-16s %12v %12v %10.0f %10v\n",
 					sk, w, pol.Name(), rep.Makespan.Round(time.Second),
-					pct(ms, 95).Round(time.Second), wanMB)
+					pct(ms, 95).Round(time.Second), wanMB, wanWait.Round(time.Second))
 			}
 		}
 	}
@@ -238,6 +323,66 @@ func pct(sorted []time.Duration, p int) time.Duration {
 		return 0
 	}
 	return sorted[len(sorted)*p/100]
+}
+
+// parseOutage reads a name@start+duration outage spec ("+duration" is
+// optional: without it the grid never recovers).
+func parseOutage(s string) (federation.Outage, error) {
+	name, window, ok := strings.Cut(s, "@")
+	if !ok || name == "" {
+		return federation.Outage{}, fmt.Errorf("want name@start+duration, got %q", s)
+	}
+	start, dur, recovers := strings.Cut(window, "+")
+	at, err := time.ParseDuration(start)
+	if err != nil {
+		return federation.Outage{}, fmt.Errorf("bad start in %q: %v", s, err)
+	}
+	o := federation.Outage{Grid: name, At: at}
+	if recovers {
+		if o.For, err = time.ParseDuration(dur); err != nil {
+			return federation.Outage{}, fmt.Errorf("bad duration in %q: %v", s, err)
+		}
+	}
+	return o, nil
+}
+
+// parsePairs reads a from>to=MBps:latency[,...] per-pair override list
+// into a LinkMatrix over the given fallback model.
+func parsePairs(s string, fallback grid.LinkModel) (*grid.LinkMatrix, error) {
+	m := &grid.LinkMatrix{Pairs: make(map[grid.GridPair]grid.Link), Fallback: fallback}
+	for _, entry := range strings.Split(s, ",") {
+		pair, link, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok {
+			return nil, fmt.Errorf("want from>to=MBps:latency, got %q", entry)
+		}
+		from, to, ok := strings.Cut(pair, ">")
+		if !ok || from == "" || to == "" {
+			return nil, fmt.Errorf("bad pair in %q", entry)
+		}
+		mbps, lat, ok := strings.Cut(link, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad link in %q (want MBps:latency)", entry)
+		}
+		bw, err := strconv.ParseFloat(mbps, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad bandwidth in %q: %v", entry, err)
+		}
+		if bw <= 0 {
+			// Link.Cost treats MBps <= 0 as latency-only (infinite
+			// bandwidth), so a typo would silently run a different
+			// experiment than the table claims.
+			return nil, fmt.Errorf("non-positive bandwidth in %q", entry)
+		}
+		latency, err := time.ParseDuration(lat)
+		if err != nil {
+			return nil, fmt.Errorf("bad latency in %q: %v", entry, err)
+		}
+		if latency < 0 {
+			return nil, fmt.Errorf("negative latency in %q", entry)
+		}
+		m.Pairs[grid.GridPair{From: from, To: to}] = grid.Link{MBps: bw, Latency: latency}
+	}
+	return m, nil
 }
 
 // parsePolicy resolves a CLI policy name, rejecting a pinned index

@@ -51,11 +51,13 @@ func slowWAN() grid.LinkModel {
 }
 
 // runLocality enacts the 12-tenant skewed load over the 4-grid federation
-// under the given policy and link model.
-func runLocality(t *testing.T, policy federation.Policy, links grid.LinkModel, skew float64) (*Report, *federation.Federation) {
+// under the given policy and link model. streams > 0 makes the WAN fabric
+// contended (that many concurrent fetch legs per grid pair); 0 keeps the
+// uncontended pure-delay model.
+func runLocality(t *testing.T, policy federation.Policy, links grid.LinkModel, skew float64, streams int) (*Report, *federation.Federation) {
 	t.Helper()
 	eng := sim.NewEngine()
-	f, err := federation.New(eng, federation.Config{Grids: localitySpecs(), Policy: policy, Links: links})
+	f, err := federation.New(eng, federation.Config{Grids: localitySpecs(), Policy: policy, Links: links, WANStreams: streams})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,9 +90,9 @@ func wanMB(f *federation.Federation) float64 {
 // p95 per-tenant makespan, and it must do so by actually moving fewer
 // bytes across the WAN.
 func TestLocalityAwareRankedBeatsBlindAndBacklog(t *testing.T) {
-	aware, fAware := runLocality(t, federation.Ranked(), slowWAN(), 1)
-	blind, fBlind := runLocality(t, federation.RankedLocalityBlind(), slowWAN(), 1)
-	backlog, fBacklog := runLocality(t, federation.LeastBacklog(), slowWAN(), 1)
+	aware, fAware := runLocality(t, federation.Ranked(), slowWAN(), 1, 0)
+	blind, fBlind := runLocality(t, federation.RankedLocalityBlind(), slowWAN(), 1, 0)
+	backlog, fBacklog := runLocality(t, federation.LeastBacklog(), slowWAN(), 1, 0)
 
 	if aware.Makespan >= blind.Makespan {
 		t.Errorf("aware span %v not below blind span %v", aware.Makespan, blind.Makespan)

@@ -16,10 +16,13 @@ import (
 	"testing"
 )
 
-// checkedPackages is the enforced surface: the grid tenancy and data-
-// locality model, the campaign layer, the federation broker, the
+// checkedPackages is the enforced surface: the grid tenancy, data-
+// locality and contended-WAN-fabric model, the campaign layer, the
+// federation broker (outage/recovery API included), the
 // service/submitter layer, the enactor API, the simulation engine and the
-// theoretical model.
+// theoretical model. New exported surface landing in these packages —
+// e.g. the link matrix, fabric and outage types — is covered
+// automatically.
 var checkedPackages = []string{
 	"../campaign",
 	"../federation",

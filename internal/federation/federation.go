@@ -40,6 +40,7 @@ package federation
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/grid"
@@ -80,8 +81,46 @@ type Config struct {
 	// and what the broker's locality-aware policies estimate that cost
 	// to be. Nil means grid.DefaultWAN (cross-grid fetches pay a real
 	// WAN link); pass grid.LocalLinks() to restore the location-blind
-	// federation where cross-grid staging was free.
+	// federation where cross-grid staging was free. A per-pair
+	// grid.LinkMatrix is accepted like any other model.
 	Links grid.LinkModel
+	// WANStreams, when positive, makes the WAN fabric contended: a
+	// capacity-limited shared channel (that many concurrent fetch legs)
+	// is created per ordered member-grid pair and attached to the shared
+	// catalog, so concurrent cross-grid stage-ins queue and stretch each
+	// other instead of overlapping for free. Zero keeps the uncontended
+	// pure-delay transfer model (the PR 4 behaviour).
+	WANStreams int
+	// Fabric optionally supplies a pre-built contended fabric (e.g. with
+	// per-pair capacity overrides); it takes precedence over WANStreams.
+	// The fabric must run on the federation's engine.
+	Fabric *grid.Fabric
+	// Outages schedules member-grid outage windows at construction time
+	// (instants are relative to the engine clock at New). Windows of one
+	// grid must not overlap — each window's recovery is unconditional,
+	// so New rejects overlapping (or never-recovering-then-followed)
+	// windows. Outages can also be driven manually with SetDown/SetUp;
+	// mixing manual calls into a scheduled window is legal but the
+	// window's boundaries still fire (a manual SetDown inside a window
+	// is undone by the window's recovery).
+	Outages []Outage
+}
+
+// Outage is one scheduled member-grid outage window: the named grid goes
+// dark At after federation construction and recovers For later (For 0
+// means it never recovers). While dark, the grid receives no brokered
+// picks, its in-flight jobs fail with grid.ErrGridDown at their next
+// lifecycle transition (and re-broker elsewhere under Config.Rebroker),
+// and on recovery its smoothed telemetry is aged out so stale pre-outage
+// observations cannot poison the ranking.
+type Outage struct {
+	// Grid names the member grid (GridSpec.Name, or the auto-assigned
+	// "gridNN").
+	Grid string
+	// At is the outage start, relative to federation construction.
+	At time.Duration
+	// For is the outage duration; zero means the grid stays dark.
+	For time.Duration
 }
 
 // Telemetry is the federation's smoothed overhead view of one member
@@ -109,6 +148,37 @@ type Telemetry struct {
 	// for the bytes actually moved, read the member grid's
 	// grid.Grid.RemoteInMB.
 	RemoteInMB float64
+	// WANWait accumulates the time this grid's completed jobs spent
+	// queued on contended WAN channels (the final attempts'
+	// JobRecord.WANWait); for the waits actually paid, attempts included,
+	// read the member grid's grid.Grid.WANWait.
+	WANWait time.Duration
+	// FetchObserved counts the completed jobs with a non-zero nominal
+	// remote fetch — the observations behind XferStretch.
+	FetchObserved int
+	// XferStretch is the smoothed ratio of observed to nominal WAN fetch
+	// cost, (WANFetch+WANWait)/WANFetch EWMA'd over completed jobs whose
+	// last attempt held WAN channels: exactly 1 on an uncontended
+	// fabric, growing past 1 as concurrent transfers queue. The ratio is
+	// taken over the cross-grid legs only — intra-grid remote fetches
+	// never touch the channels, and folding their nominal time in would
+	// dilute the congestion signal the broker applies to its
+	// cross-grid-only XferEst term. Read it through Stretch(), which
+	// supplies the no-observation default.
+	XferStretch float64
+}
+
+// Stretch returns the grid's observed transfer-cost stretch factor: the
+// XferStretch EWMA, or 1 before any remote fetch has been observed. The
+// locality-aware Ranked policy multiplies its nominal XferEst term by it,
+// which is how the broker learns observed (not nominal) transfer cost
+// under channel contention while decaying to the nominal ranking exactly
+// when the fabric is uncontended.
+func (t Telemetry) Stretch() float64 {
+	if t.FetchObserved == 0 {
+		return 1
+	}
+	return t.XferStretch
 }
 
 // Federation is a set of member grids behind one brokered submission
@@ -121,6 +191,7 @@ type Federation struct {
 	policy  Policy
 	alpha   float64
 	catalog *grid.Catalog
+	fabric  *grid.Fabric
 	tenants map[string]*Tenant
 	telem   []Telemetry
 	// records holds every dispatched attempt in dispatch order, across
@@ -173,6 +244,14 @@ func New(eng *sim.Engine, cfg Config) (*Federation, error) {
 		links = grid.DefaultWAN()
 	}
 	f.catalog.SetLinks(links)
+	f.fabric = cfg.Fabric
+	if f.fabric != nil && f.fabric.Engine() != eng {
+		return nil, errors.New("federation: Config.Fabric runs on a different engine")
+	}
+	if f.fabric == nil && cfg.WANStreams > 0 {
+		f.fabric = grid.NewFabric(eng, cfg.WANStreams)
+	}
+	f.catalog.SetFabric(f.fabric)
 	seen := make(map[string]bool, len(cfg.Grids))
 	for i, gs := range cfg.Grids {
 		name := gs.Name
@@ -193,6 +272,54 @@ func New(eng *sim.Engine, cfg Config) (*Federation, error) {
 		gs.Config.Name = name
 		f.names = append(f.names, name)
 		f.grids = append(f.grids, grid.NewWithCatalog(eng, gs.Config, f.catalog))
+	}
+	type boundOutage struct {
+		idx int
+		o   Outage
+	}
+	scheduled := make([]boundOutage, 0, len(cfg.Outages))
+	perGrid := make(map[string][]Outage, len(cfg.Outages))
+	for _, o := range cfg.Outages {
+		idx := -1
+		for i, name := range f.names {
+			if name == o.Grid {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("federation: outage names unknown grid %q", o.Grid)
+		}
+		if o.At < 0 || o.For < 0 {
+			return nil, fmt.Errorf("federation: outage of %q has a negative instant or duration", o.Grid)
+		}
+		// Windows of one grid must not overlap: a window's scheduled
+		// recovery is unconditional, so an overlap would let the earlier
+		// window's SetUp revive a grid a later (or never-ending) window
+		// still holds dark.
+		for _, prev := range perGrid[o.Grid] {
+			lo, hi := prev, o
+			if hi.At < lo.At {
+				lo, hi = hi, lo
+			}
+			if lo.For == 0 || lo.At+lo.For > hi.At {
+				return nil, fmt.Errorf("federation: outage windows of %q overlap", o.Grid)
+			}
+		}
+		perGrid[o.Grid] = append(perGrid[o.Grid], o)
+		scheduled = append(scheduled, boundOutage{idx, o})
+	}
+	// Schedule in chronological window order: same-instant events fire in
+	// schedule order, so a window that starts exactly when an earlier one
+	// ends must have its SetDown scheduled after that window's SetUp —
+	// otherwise the recovery would fire second and cancel the new window.
+	sort.SliceStable(scheduled, func(i, j int) bool { return scheduled[i].o.At < scheduled[j].o.At })
+	for _, b := range scheduled {
+		idx, o := b.idx, b.o
+		eng.Schedule(sim.Time(o.At), func() { f.SetDown(idx) })
+		if o.For > 0 {
+			eng.Schedule(sim.Time(o.At+o.For), func() { f.SetUp(idx) })
+		}
 	}
 	return f, nil
 }
@@ -244,6 +371,38 @@ func (f *Federation) GridName(i int) string { return f.names[i] }
 // Telemetry returns the federation's current overhead view of member
 // grid i.
 func (f *Federation) Telemetry(i int) Telemetry { return f.telem[i] }
+
+// Fabric returns the contended WAN fabric attached to the shared catalog
+// (nil when cross-grid fetches are uncontended pure delays).
+func (f *Federation) Fabric() *grid.Fabric { return f.fabric }
+
+// SetDown takes member grid i dark: it stops receiving brokered picks
+// and every job attempt still in its pipeline fails with
+// grid.ErrGridDown at its next lifecycle transition, to be re-brokered
+// elsewhere under Config.Rebroker. Idempotent.
+func (f *Federation) SetDown(i int) { f.grids[i].SetDown(true) }
+
+// SetUp recovers member grid i from an outage: it becomes eligible for
+// brokering again and its smoothed telemetry is aged out — the overhead
+// EWMAs, the transfer-stretch observations and their counters are reset,
+// so the recovered grid is re-characterized from fresh observations
+// (degrading to the rank floor's backlog spreading until they arrive)
+// instead of trusting stale pre-outage numbers. Cumulative counters
+// (Dispatched, Rebrokered, RemoteInMB, WANWait) are kept. Calling SetUp
+// on a grid that is not down is a no-op.
+func (f *Federation) SetUp(i int) {
+	if !f.grids[i].Down() {
+		return
+	}
+	f.grids[i].SetDown(false)
+	t := &f.telem[i]
+	t.Observed = 0
+	t.SubmitEWMA, t.QueueEWMA = 0, 0
+	t.FetchObserved, t.XferStretch = 0, 0
+}
+
+// Down reports whether member grid i is currently dark.
+func (f *Federation) Down(i int) bool { return f.grids[i].Down() }
 
 // TotalNodes returns the worker-node capacity across all member grids.
 func (f *Federation) TotalNodes() int {
@@ -308,8 +467,8 @@ func (f *Federation) submit(tenant string, spec grid.JobSpec, done func(*grid.Jo
 func (f *Federation) pick(spec grid.JobSpec, exclude int) int {
 	plan := f.planViews && len(spec.Inputs) > 0 && !f.catalog.AllLocal()
 	for i, g := range f.grids {
-		f.views[i] = GridView{Index: i, Name: f.names[i], Load: g.Load(), Telemetry: f.telem[i]}
-		if plan {
+		f.views[i] = GridView{Index: i, Name: f.names[i], Down: g.Down(), Load: g.Load(), Telemetry: f.telem[i]}
+		if plan && !f.views[i].Down {
 			p := f.catalog.Plan(spec.Inputs, grid.Site{Grid: f.names[i]})
 			if p.Missing == "" {
 				f.views[i].AffinityMB = p.LocalMB
@@ -320,6 +479,15 @@ func (f *Federation) pick(spec grid.JobSpec, exclude int) int {
 	idx := f.policy.Pick(f.views, exclude)
 	if idx < 0 || idx >= len(f.grids) {
 		panic(fmt.Sprintf("federation: policy %s picked grid %d of %d", f.policy.Name(), idx, len(f.grids)))
+	}
+	if f.grids[idx].Down() {
+		// Safety net over the policy contract: a dark grid must never
+		// receive work while an alternative is up. Redirect
+		// deterministically to the first up grid, preferring one that is
+		// not the excluded failure source (scanUp's tier order).
+		if j := scanUp(f.views, 0, exclude); j >= 0 {
+			idx = j
+		}
 	}
 	return idx
 }
@@ -361,6 +529,21 @@ func (f *Federation) observe(idx int, r *grid.JobRecord) {
 	}
 	t := &f.telem[idx]
 	t.RemoteInMB += r.RemoteInMB
+	t.WANWait += r.WANWait
+	if r.WANFetch > 0 {
+		// Observed vs nominal cost of the WAN legs alone: on an
+		// uncontended fabric WANWait is zero and the ratio is exactly 1,
+		// so the stretch EWMA stays 1 and the locality-aware ranking is
+		// unchanged. Without a fabric WANFetch is never set and the
+		// stretch stays at its no-observation default of 1.
+		ratio := float64(r.WANFetch+r.WANWait) / float64(r.WANFetch)
+		if t.FetchObserved == 0 {
+			t.XferStretch = ratio
+		} else {
+			t.XferStretch = f.alpha*ratio + (1-f.alpha)*t.XferStretch
+		}
+		t.FetchObserved++
+	}
 	submit := time.Duration(r.Accepted - r.Submitted)
 	queue := time.Duration(r.Started - r.Matched)
 	if t.Observed == 0 {

@@ -20,6 +20,13 @@ type GridView struct {
 	Index int
 	// Name is the grid's configured (or auto-assigned) name.
 	Name string
+	// Down marks the grid dark (a member-grid outage): it must not be
+	// picked while any other grid is up. Built-in policies honour this,
+	// and the federation redirects a down pick to the first up grid as a
+	// safety net. A down view carries no affinity signals (AffinityMB
+	// and XferEst stay zero — there is no point planning a stage-in that
+	// cannot run).
+	Down bool
 	// Load is the grid's current backlog snapshot.
 	Load grid.Load
 	// Telemetry is the federation's smoothed per-grid overhead view.
@@ -44,6 +51,9 @@ type GridView struct {
 // tests pin their schedules. exclude is the index of a grid the job must
 // avoid (re-brokering after that grid failed it; -1 when unconstrained);
 // a policy may still return the excluded index when no alternative exists.
+// Views marked Down must be avoided while any up view exists (downness is
+// a harder constraint than exclusion: an excluded-but-up grid can at
+// least run the job).
 type Policy interface {
 	// Name identifies the policy in reports and CLI tables.
 	Name() string
@@ -74,12 +84,37 @@ func (p *roundRobin) readsAffinity() bool { return false }
 
 func (p *roundRobin) Pick(views []GridView, exclude int) int {
 	n := len(views)
-	idx := p.next % n
-	if idx == exclude && n > 1 {
-		idx = (idx + 1) % n
+	idx := scanUp(views, p.next, exclude)
+	if idx < 0 {
+		// Everything is dark: fall back to the historical rotation,
+		// skipping only the excluded grid.
+		idx = p.next % n
+		if idx == exclude && n > 1 {
+			idx = (idx + 1) % n
+		}
 	}
 	p.next = (idx + 1) % n
 	return idx
+}
+
+// scanUp returns the first view index at or after start (wrapping) that
+// is up — preferring, in a first pass, one that is also not excluded,
+// the same avoidance order as pickArgmin's tiers (downness is a harder
+// constraint than exclusion, so an up-but-excluded grid beats any dark
+// one). It returns -1 when every view is dark. It is the shared scan of
+// the order-based policies (round-robin, pinned).
+func scanUp(views []GridView, start, exclude int) int {
+	n := len(views)
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < n; i++ {
+			j := (start + i) % n
+			if views[j].Down || (pass == 0 && j == exclude && n > 1) {
+				continue
+			}
+			return j
+		}
+	}
+	return -1
 }
 
 // LeastBacklog returns the policy that submits to the grid with the lowest
@@ -97,17 +132,39 @@ func (leastBacklog) Name() string { return "least-backlog" }
 func (leastBacklog) readsAffinity() bool { return false }
 
 func (leastBacklog) Pick(views []GridView, exclude int) int {
-	best, bestScore := -1, 0.0
-	for _, v := range views {
-		if v.Index == exclude && len(views) > 1 {
-			continue
+	return pickArgmin(views, exclude, func(v GridView) float64 {
+		return v.Load.Occupancy()
+	})
+}
+
+// pickArgmin returns the index minimizing score over the strongest
+// non-empty candidate tier: up and not excluded, then up, then not
+// excluded, then every view. The tiers encode the shared avoidance
+// order of the stateless argmin policies — a dark grid is skipped while
+// any grid is up, an excluded grid while any alternative exists — with
+// ties resolving to the lowest index as always.
+func pickArgmin(views []GridView, exclude int, score func(GridView) float64) int {
+	tiers := [...]func(GridView) bool{
+		func(v GridView) bool { return !v.Down && v.Index != exclude },
+		func(v GridView) bool { return !v.Down },
+		func(v GridView) bool { return v.Index != exclude },
+		func(GridView) bool { return true },
+	}
+	for _, ok := range tiers {
+		best, bestScore := -1, 0.0
+		for _, v := range views {
+			if !ok(v) {
+				continue
+			}
+			if s := score(v); best < 0 || s < bestScore {
+				best, bestScore = v.Index, s
+			}
 		}
-		score := v.Load.Occupancy()
-		if best < 0 || score < bestScore {
-			best, bestScore = v.Index, score
+		if best >= 0 {
+			return best
 		}
 	}
-	return best
+	return 0 // unreachable: the last tier accepts everything
 }
 
 // rankFloor is the additive floor of the overhead-ranked policy, in
@@ -132,16 +189,19 @@ const rankFloor = 1.0
 //
 //	rank = (submitEWMA + rankFloor) × (1 + pendingSubmits)
 //	     + queueEWMA × (1 + queuedJobs/nodes)
-//	     + xferEst
+//	     + xferEst × stretch
 //
 // and the submission goes to the argmin. The UI term multiplies by the
 // absolute UI backlog because submission is serialized — every pending
 // request costs a full submit latency — while the queue term normalizes
 // by capacity, since batch queues drain in parallel across worker nodes.
 // The transfer term (GridView.XferEst) is the serialized non-local fetch
-// time the job's stage-in would actually pay on that grid, in the same
-// seconds as the overhead terms: the broker trades a busy-but-local grid
-// against an idle-but-remote one at face value. On a federation with
+// time the job's stage-in would nominally pay on that grid, in the same
+// seconds as the overhead terms, scaled by the grid's observed
+// congestion stretch (Telemetry.Stretch: the EWMA of observed/nominal
+// fetch cost, exactly 1 without a contended fabric): the broker trades a
+// busy-but-local grid against an idle-but-remote one at the price its
+// own jobs have actually been paying. On a federation with
 // uniformly-resident data every grid's transfer term is equal, the argmin
 // is unchanged, and the policy decays to the locality-blind ranking
 // exactly (see RankedLocalityBlind). Ties resolve to the lowest index.
@@ -165,11 +225,7 @@ func (p ranked) Name() string {
 func (p ranked) readsAffinity() bool { return !p.blind }
 
 func (p ranked) Pick(views []GridView, exclude int) int {
-	best, bestScore := -1, 0.0
-	for _, v := range views {
-		if v.Index == exclude && len(views) > 1 {
-			continue
-		}
+	return pickArgmin(views, exclude, func(v GridView) float64 {
 		queued := float64(v.Load.QueuedJobs)
 		if v.Load.TotalNodes > 0 {
 			queued /= float64(v.Load.TotalNodes)
@@ -177,13 +233,13 @@ func (p ranked) Pick(views []GridView, exclude int) int {
 		score := (v.Telemetry.SubmitEWMA.Seconds()+rankFloor)*(1+float64(v.Load.PendingSubmits)) +
 			v.Telemetry.QueueEWMA.Seconds()*(1+queued)
 		if !p.blind {
-			score += v.XferEst.Seconds()
+			// The transfer term is the nominal serialized fetch time
+			// scaled by the grid's observed congestion stretch — exactly
+			// the nominal estimate on an uncontended fabric (stretch 1).
+			score += v.XferEst.Seconds() * v.Telemetry.Stretch()
 		}
-		if best < 0 || score < bestScore {
-			best, bestScore = v.Index, score
-		}
-	}
-	return best
+		return score
+	})
 }
 
 // Pinned returns the degenerate policy that sends every submission to one
@@ -204,6 +260,12 @@ func (p pinned) Pick(views []GridView, exclude int) int {
 	if idx < 0 || idx >= len(views) {
 		idx = 0
 	}
+	// The scan starts at the pinned grid, so it wins whenever it is
+	// eligible and the fallback walks configuration order from it.
+	if j := scanUp(views, idx, exclude); j >= 0 {
+		return j
+	}
+	// Everything is dark: the historical exclusion step.
 	if idx == exclude && len(views) > 1 {
 		idx = (idx + 1) % len(views)
 	}

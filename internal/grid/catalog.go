@@ -35,8 +35,9 @@ type catEntry struct {
 // catalog prices the movement of a replica to a consuming site; stage-in
 // picks the cheapest replica under that model.
 type Catalog struct {
-	files map[string]*catEntry
-	links LinkModel
+	files  map[string]*catEntry
+	links  LinkModel
+	fabric *Fabric
 }
 
 // NewCatalog returns an empty catalog with the all-local link model
@@ -60,6 +61,16 @@ func (c *Catalog) SetLinks(lm LinkModel) {
 
 // Links returns the link model pricing replica movement.
 func (c *Catalog) Links() LinkModel { return c.links }
+
+// SetFabric attaches the contended WAN fabric that remote stage-in legs
+// acquire channels on. Nil detaches it, restoring the pure-delay remote
+// transfer model (each job's remote fetch is an uncontended delay of the
+// plan's RemoteTime — the PR 4 behaviour, and the default).
+func (c *Catalog) SetFabric(f *Fabric) { c.fabric = f }
+
+// Fabric returns the attached contended WAN fabric (nil when remote
+// fetches are uncontended pure delays).
+func (c *Catalog) Fabric() *Fabric { return c.fabric }
 
 // AllLocal reports whether the attached link model is the all-local one,
 // under which every fetch estimate is provably zero — the matchmaker's
@@ -189,9 +200,30 @@ type StagePlan struct {
 	// sum over remote inputs of the chosen link's latency plus
 	// size/bandwidth.
 	RemoteTime time.Duration
+	// Remote breaks the remote class down by source grid, in lexical
+	// source-grid order — the legs a contended stage-in walks, acquiring
+	// each leg's (fromGrid, toGrid) channel for the leg's fetch time. It
+	// is only materialized by PlanDetailed; Plan leaves it nil so the
+	// broker ranking hot paths stay allocation-free.
+	Remote []RemoteLeg
 	// Missing is the first input (in declaration order) absent from the
 	// catalog; the plan is unusable when it is non-empty.
 	Missing string
+}
+
+// RemoteLeg is the remote class of one source grid within a stage plan:
+// the inputs fetched from replicas resident on that grid, aggregated so
+// the whole leg holds the pair's WAN channel once for its serialized
+// fetch time.
+type RemoteLeg struct {
+	// FromGrid names the grid the leg's replicas live on.
+	FromGrid string
+	// SizeMB and Files total the leg's inputs.
+	SizeMB float64
+	Files  int
+	// Time is the leg's serialized fetch time (latency plus
+	// size/bandwidth summed over its files).
+	Time time.Duration
 }
 
 // Plan resolves the inputs against the replica catalog for a consumer at
@@ -201,6 +233,18 @@ type StagePlan struct {
 // cluster rankers use it for cost estimates with exactly the semantics
 // stage-in will pay.
 func (c *Catalog) Plan(inputs []string, to Site) StagePlan {
+	return c.plan(inputs, to, false)
+}
+
+// PlanDetailed is Plan with the per-source-grid leg breakdown
+// (StagePlan.Remote) materialized, in lexical source-grid order. The
+// contended stage-in path uses it to acquire each leg's WAN channel;
+// rankers keep using Plan, whose aggregate-only result allocates nothing.
+func (c *Catalog) PlanDetailed(inputs []string, to Site) StagePlan {
+	return c.plan(inputs, to, true)
+}
+
+func (c *Catalog) plan(inputs []string, to Site, detail bool) StagePlan {
 	var p StagePlan
 	for _, name := range inputs {
 		rep, link, ok := c.best(name, to)
@@ -212,10 +256,30 @@ func (c *Catalog) Plan(inputs []string, to Site) StagePlan {
 			p.LocalMB += rep.SizeMB
 			p.LocalFiles++
 		} else {
+			cost := link.Cost(rep.SizeMB)
 			p.RemoteMB += rep.SizeMB
 			p.RemoteFiles++
-			p.RemoteTime += link.Cost(rep.SizeMB)
+			p.RemoteTime += cost
+			if detail {
+				p.addLeg(rep.Site.Grid, rep.SizeMB, cost)
+			}
 		}
 	}
 	return p
+}
+
+// addLeg folds one remote fetch into its source grid's leg, keeping the
+// legs sorted by source grid so the contended stage-in walks channels in
+// an order independent of input declaration order.
+func (p *StagePlan) addLeg(fromGrid string, sizeMB float64, cost time.Duration) {
+	i := sort.Search(len(p.Remote), func(i int) bool { return p.Remote[i].FromGrid >= fromGrid })
+	if i < len(p.Remote) && p.Remote[i].FromGrid == fromGrid {
+		p.Remote[i].SizeMB += sizeMB
+		p.Remote[i].Files++
+		p.Remote[i].Time += cost
+		return
+	}
+	p.Remote = append(p.Remote, RemoteLeg{})
+	copy(p.Remote[i+1:], p.Remote[i:])
+	p.Remote[i] = RemoteLeg{FromGrid: fromGrid, SizeMB: sizeMB, Files: 1, Time: cost}
 }

@@ -22,9 +22,12 @@ type cluster struct {
 	fgFailed uint64
 	// remoteMB / remoteFetches account input bytes (and file fetches)
 	// pulled over non-local links because no replica sat behind the close
-	// SE — the per-cluster face of the WAN transfer model.
+	// SE — the per-cluster face of the WAN transfer model. wanWait
+	// accumulates the time those fetches spent queued on contended WAN
+	// channels before being granted (zero without a fabric).
 	remoteMB      float64
 	remoteFetches uint64
+	wanWait       time.Duration
 }
 
 func newCluster(g *Grid, cfg ClusterConfig, rnd *rng.Source) *cluster {
@@ -108,11 +111,28 @@ func (c *cluster) enqueue(rec *JobRecord, finished func(failed bool)) {
 // close-SE link exactly as the location-blind model moved everything,
 // while non-local inputs are first fetched over their intra-grid/WAN
 // links, serialized per job at the link's own bandwidth and per-file
-// latency. When the plan has no remote class, the event schedule is
+// latency. Without a fabric the whole remote class is one pure delay;
+// with one, the fetch walks its per-source-grid legs in order, each leg
+// holding the (fromGrid, toGrid) channel for its fetch time, so
+// concurrent remote fetches queue and the queueing is accounted as
+// WANWait. When the plan has no remote class, the event schedule is
 // bit-identical to the pre-locality one (no extra event is inserted), the
 // backwards-compatibility invariant the single-grid goldens pin.
 func (c *cluster) stageIn(rec *JobRecord, finished func(failed bool)) {
-	plan := c.g.catalog.Plan(rec.Spec.Inputs, c.site)
+	if c.g.down {
+		// The grid went dark while the attempt was being dispatched: it
+		// fails before touching storage, like any stage-in failure.
+		c.fgFailed++
+		c.release(rec, true, finished)
+		return
+	}
+	fab := c.g.catalog.Fabric()
+	var plan StagePlan
+	if fab != nil {
+		plan = c.g.catalog.PlanDetailed(rec.Spec.Inputs, c.site)
+	} else {
+		plan = c.g.catalog.Plan(rec.Spec.Inputs, c.site)
+	}
 	if plan.Missing != "" {
 		// A stage-in failure is a failed attempt like any other and
 		// must show up in the per-cluster failure accounting.
@@ -123,6 +143,10 @@ func (c *cluster) stageIn(rec *JobRecord, finished func(failed bool)) {
 	}
 	rec.LocalInMB, rec.RemoteInMB = plan.LocalMB, plan.RemoteMB
 	rec.RemoteFetch = plan.RemoteTime
+	// Like the fields above, WANFetch and WANWait describe the last
+	// attempt only: a resubmitted job starts its wait accounting over,
+	// so the observed/nominal stretch telemetry compares like with like.
+	rec.WANFetch, rec.WANWait = 0, 0
 	local := func() {
 		c.transfer(plan.LocalMB, plan.LocalFiles, func() {
 			rec.InputDone = c.g.Eng.Now()
@@ -135,7 +159,40 @@ func (c *cluster) stageIn(rec *JobRecord, finished func(failed bool)) {
 	}
 	c.remoteMB += plan.RemoteMB
 	c.remoteFetches += uint64(plan.RemoteFiles)
-	c.g.Eng.Schedule(plan.RemoteTime, local)
+	if fab == nil {
+		c.g.Eng.Schedule(plan.RemoteTime, local)
+		return
+	}
+	// Contended path: the legs run in plan order (lexical source grid),
+	// serialized per job exactly like the pure-delay model, but each
+	// cross-grid leg first waits for its pair channel. With free
+	// channels the elapsed time degenerates to plan.RemoteTime and
+	// WANWait stays zero. Same-grid legs (a remote intra-grid class) are
+	// not WAN traffic: they keep the pure-delay cost, so intra-grid
+	// congestion never occupies the WAN channels or inflates the
+	// observed/nominal stretch the broker applies to cross-grid
+	// estimates.
+	leg := 0
+	var next func()
+	next = func() {
+		if leg == len(plan.Remote) {
+			local()
+			return
+		}
+		l := plan.Remote[leg]
+		leg++
+		if l.FromGrid == c.site.Grid {
+			c.g.Eng.Schedule(l.Time, next)
+			return
+		}
+		rec.WANFetch += l.Time
+		fab.Channel(l.FromGrid, c.site.Grid).UseWait(l.Time, func(waited sim.Time) {
+			rec.WANWait += time.Duration(waited)
+			c.wanWait += time.Duration(waited)
+			next()
+		})
+	}
+	next()
 }
 
 func (c *cluster) compute(rec *JobRecord, finished func(failed bool)) {
@@ -179,6 +236,14 @@ func (c *cluster) transfer(totalMB float64, nFiles int, done func()) {
 
 func (c *cluster) release(rec *JobRecord, failed bool, finished func(bool)) {
 	c.nodes.Release()
+	if !failed && c.g.down {
+		// The attempt finished its work but the grid went dark:
+		// settlement will turn it into a terminal ErrGridDown failure,
+		// which must show in this cluster's failure accounting like any
+		// other failed attempt (failure paths already counted themselves
+		// at their source).
+		c.fgFailed++
+	}
 	finished(failed)
 }
 

@@ -216,6 +216,11 @@ type Grid struct {
 	subServed  int      // submissions served to slot subRR this round
 	subPending int      // accepted, UI latency not yet paid
 	uiBusy     bool
+
+	// down marks the grid dark (see SetDown): every job attempt fails
+	// with ErrGridDown at its next lifecycle transition while the flag is
+	// set.
+	down bool
 }
 
 // New builds a grid on the engine from the configuration, with its own
@@ -307,6 +312,33 @@ func (g *Grid) RemoteInMB() float64 {
 	return mb
 }
 
+// WANWait returns the total virtual time this grid's job attempts spent
+// queued on contended WAN channels before their remote fetch legs were
+// granted, summed across clusters (failed and resubmitted attempts
+// included). Zero when no fabric is attached to the catalog.
+func (g *Grid) WANWait() time.Duration {
+	var w time.Duration
+	for _, c := range g.clusters {
+		w += c.wanWait
+	}
+	return w
+}
+
+// SetDown marks the grid dark (down = true) or recovered (down = false).
+// A dark grid models a member-grid outage: it accepts no useful work —
+// every job attempt fails with ErrGridDown at its next lifecycle
+// transition (UI acceptance, matchmaking, stage-in, or settlement), no
+// outputs are registered, and no local resubmission happens — while
+// virtual time, background load and the other grids of a federation
+// continue. An attempt that crosses no transition during an outage
+// window (e.g. a long compute spanning the whole window) survives it.
+// Recovery simply clears the flag; attempts still in the pipeline
+// proceed normally from their next transition on.
+func (g *Grid) SetDown(down bool) { g.down = down }
+
+// Down reports whether the grid is currently dark.
+func (g *Grid) Down() bool { return g.down }
+
 // QueuedJobs returns the number of jobs waiting in batch queues.
 func (g *Grid) QueuedJobs() int {
 	n := 0
@@ -371,6 +403,10 @@ type ClusterStat struct {
 	RemoteInMB float64
 	// RemoteFetches counts the non-local input fetches behind RemoteInMB.
 	RemoteFetches uint64
+	// WANWait accumulates the virtual time attempts at this cluster spent
+	// queued on contended WAN channels before their remote fetch legs
+	// were granted (zero without a fabric).
+	WANWait time.Duration
 }
 
 // ClusterStats returns per-cluster accounting, in configuration order.
@@ -384,6 +420,7 @@ func (g *Grid) ClusterStats() []ClusterStat {
 			BackgroundJobs:   c.bgJobs,
 			RemoteInMB:       c.remoteMB,
 			RemoteFetches:    c.remoteFetches,
+			WANWait:          c.wanWait,
 		}
 	}
 	return out

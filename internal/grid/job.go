@@ -65,7 +65,12 @@ type JobRecord struct {
 	// Tenant names the submission handle the job came through (empty for
 	// jobs submitted directly via Grid.Submit). Per-tenant statistics
 	// filter the global record set on this tag.
-	Tenant  string
+	Tenant string
+	// Grid names the grid the job was submitted to (Config.Name; empty
+	// for an unnamed standalone grid). A federation's records carry the
+	// member-grid name here, which is how outage scenarios verify that no
+	// work was routed to a dark grid.
+	Grid    string
 	Spec    JobSpec
 	Status  JobStatus
 	Cluster string
@@ -87,7 +92,21 @@ type JobRecord struct {
 	RemoteInMB float64
 	// RemoteFetch is the serialized non-local fetch time the last attempt
 	// paid before its close-SE transfer (zero when every input was local).
+	// It is the nominal (uncontended) cost: queueing on contended WAN
+	// channels is accounted separately in WANWait, so the observed fetch
+	// span is RemoteFetch + WANWait.
 	RemoteFetch time.Duration
+	// WANFetch is the cross-grid portion of RemoteFetch under a
+	// contended fabric: the nominal time of the legs that actually
+	// crossed grids (and hence held WAN channels). Intra-grid remote
+	// legs are excluded — they never touch the channels — so
+	// (WANFetch + WANWait) / WANFetch is the undiluted observed/nominal
+	// stretch of the WAN itself. Zero without a fabric.
+	WANFetch time.Duration
+	// WANWait is the time the last attempt's cross-grid fetch legs spent
+	// queued on contended WAN channels before being granted (zero
+	// without a fabric, or when every input was local or intra-grid).
+	WANWait time.Duration
 
 	Err error
 }
@@ -114,6 +133,13 @@ var ErrNoSuchFile = errors.New("grid: input file not in replica catalog")
 
 // ErrTooManyFailures reports a job that exhausted its resubmissions.
 var ErrTooManyFailures = errors.New("grid: job failed after maximum retries")
+
+// ErrGridDown reports a job attempt interrupted by a grid outage: the
+// grid was dark (Grid.SetDown) when the attempt reached its next
+// lifecycle transition. The failure is terminal on this grid — a dark
+// grid cannot resubmit — but a federation re-brokers it elsewhere (the
+// outage is local, unlike a shared-catalog ErrNoSuchFile).
+var ErrGridDown = errors.New("grid: grid is down")
 
 // Submit enters a job into the grid under the default (anonymous) tenant.
 // done is invoked exactly once, in virtual time, when the job reaches a
@@ -173,6 +199,7 @@ func (g *Grid) submit(tenant string, spec JobSpec, done func(*JobRecord)) *JobRe
 	rec := &JobRecord{
 		ID:        g.nextID,
 		Tenant:    tenant,
+		Grid:      g.cfg.Name,
 		Spec:      spec,
 		Status:    StatusSubmitted,
 		Submitted: g.Eng.Now(),
@@ -259,6 +286,16 @@ func (g *Grid) pumpSubmits() {
 	g.Eng.Schedule(d, func() {
 		g.subPending--
 		g.uiBusy = false
+		if g.down {
+			// The UI is dark: the submission times out after its latency
+			// and fails terminally on this grid. It still counts as an
+			// attempt — overhead statistics derive resubmission counts
+			// from Attempts-1, which must never go negative.
+			rec.Attempts++
+			g.settle(rec, true, done)
+			g.pumpSubmits()
+			return
+		}
 		rec.Status = StatusAccepted
 		rec.Accepted = g.Eng.Now()
 		g.match(rec, done)
@@ -277,6 +314,10 @@ func (g *Grid) match(rec *JobRecord, done func(*JobRecord)) {
 	g.broker.Acquire(func() {
 		g.Eng.Schedule(g.drawLogNormal(g.cfg.Overheads.BrokerMean, g.cfg.Overheads.BrokerSD), func() {
 			g.broker.Release()
+			if g.down {
+				g.settle(rec, true, done)
+				return
+			}
 			c := g.pickCluster(rec.Spec.Inputs)
 			rec.Status = StatusMatched
 			rec.Matched = g.Eng.Now()
@@ -289,8 +330,20 @@ func (g *Grid) match(rec *JobRecord, done func(*JobRecord)) {
 }
 
 // settle finalizes an attempt: success completes the job, failure
-// resubmits through the broker until retries run out.
+// resubmits through the broker until retries run out. On a dark grid
+// every settlement is a terminal ErrGridDown failure: a completed
+// attempt's results are lost (its outputs are not registered) and a
+// failed one cannot be locally resubmitted.
 func (g *Grid) settle(rec *JobRecord, failed bool, done func(*JobRecord)) {
+	if g.down {
+		if rec.Err == nil {
+			rec.Err = ErrGridDown
+		}
+		rec.Status = StatusFailed
+		rec.Completed = g.Eng.Now()
+		done(rec)
+		return
+	}
 	if !failed {
 		rec.Status = StatusCompleted
 		rec.Completed = g.Eng.Now()

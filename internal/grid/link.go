@@ -118,6 +118,58 @@ func orLocal(l Link) Link {
 	return l
 }
 
+// GridPair is one ordered (from, to) edge of the grid-level transfer
+// topology: the direction a replica moves when a job on grid To consumes
+// a file resident on grid From. Per-pair link matrices and the contended
+// WAN fabric key their state by it.
+type GridPair struct {
+	// From names the grid the replica lives on.
+	From string
+	// To names the grid consuming the replica.
+	To string
+}
+
+// LinkMatrix is the per-pair link model: a measured (fromGrid, toGrid) →
+// bandwidth/latency matrix, the shape of Venugopal et al.'s per-pair link
+// quality ranking and Sadeghiram et al.'s distance matrices, layered over
+// a class-based fallback. Pairs present in the matrix are priced exactly
+// as listed; pairs absent from it fall back to the class model, so a
+// matrix populated with the uniform class constants is bit-identical to
+// the class model itself (the strict-generalization property the tests
+// pin). Intra-cluster transfers and unplaced replicas are always local,
+// and a grid-level consumer view of data resident on its own grid is
+// local too, exactly as in Links.
+type LinkMatrix struct {
+	// Pairs maps ordered grid pairs to their measured link. A zero-valued
+	// link listed here degrades to local, matching the class semantics.
+	Pairs map[GridPair]Link
+	// Fallback prices pairs absent from the matrix. Nil means the zero
+	// Links model (everything local), so a matrix alone prices exactly
+	// the pairs it lists.
+	Fallback LinkModel
+}
+
+// Link implements LinkModel: same cluster (or an unplaced replica) is
+// local, a listed (fromGrid, toGrid) pair is priced by the matrix, and
+// everything else falls back to the class model.
+func (m *LinkMatrix) Link(from, to Site) Link {
+	if from.IsZero() || from == to {
+		return Link{Local: true}
+	}
+	if from.Grid == to.Grid && (from.Cluster == "" || to.Cluster == "" || from.Cluster == to.Cluster) {
+		// Same grid with only grid-level knowledge (a broker's view) or
+		// the same close SE: resident means no movement, as in Links.
+		return Link{Local: true}
+	}
+	if l, ok := m.Pairs[GridPair{From: from.Grid, To: to.Grid}]; ok {
+		return orLocal(l)
+	}
+	if m.Fallback != nil {
+		return m.Fallback.Link(from, to)
+	}
+	return Link{Local: true}
+}
+
 // DefaultWAN returns the standard federation link model: intra-grid
 // transfers stay local (close-SE abstraction) and cross-grid fetches pay a
 // 2 MB/s WAN link with a 5 s per-file setup latency — 5× slower than the

@@ -1,0 +1,128 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// matrixGrids and matrixClusters are the site universe of the
+// generalization property: every ordered cross-grid pair of matrixGrids
+// can be enumerated, and the empty entries exercise the grid-level-view
+// and unplaced cases.
+var (
+	matrixGrids    = []string{"", "g0", "g1", "g2", "g3"}
+	matrixClusters = []string{"", "ce00", "ce01"}
+)
+
+// site decodes two generator bytes into a site of the universe.
+func site(g, c byte) Site {
+	return Site{
+		Grid:    matrixGrids[int(g)%len(matrixGrids)],
+		Cluster: matrixClusters[int(c)%len(matrixClusters)],
+	}
+}
+
+// fullMatrix returns a LinkMatrix listing every ordered cross-grid pair
+// of the universe at the given link, over the given fallback.
+func fullMatrix(l Link, fallback LinkModel) *LinkMatrix {
+	m := &LinkMatrix{Pairs: make(map[GridPair]Link), Fallback: fallback}
+	for _, from := range matrixGrids {
+		for _, to := range matrixGrids {
+			if from != to {
+				m.Pairs[GridPair{From: from, To: to}] = l
+			}
+		}
+	}
+	return m
+}
+
+// TestLinkMatrixGeneralizesLinks is the strict-generalization property: a
+// matrix with every cross-grid pair set to the class model's WAN constants
+// (and the class model itself as fallback, for the intra-grid class) must
+// price every (from, to) site pair bit-identically to the class model —
+// Local flag, bandwidth and latency alike. It is what licenses swapping
+// grid.Links for a measured per-pair matrix without re-validating the
+// transfer model.
+func TestLinkMatrixGeneralizesLinks(t *testing.T) {
+	classes := []*Links{
+		DefaultWAN(),
+		{IntraGrid: Link{MBps: 5, Latency: time.Second}, WAN: Link{MBps: 1, Latency: 10 * time.Second}},
+		{}, // the location-blind zero model: a zero WAN entry must degrade to local
+	}
+	for _, links := range classes {
+		matrix := fullMatrix(links.WAN, links)
+		f := func(fg, fc, tg, tc byte) bool {
+			from, to := site(fg, fc), site(tg, tc)
+			return matrix.Link(from, to) == links.Link(from, to)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("matrix diverges from class model %+v: %v", links, err)
+		}
+	}
+}
+
+// TestLinkMatrixOverridesAndFallback pins the matrix semantics directly:
+// a listed pair is priced as listed (asymmetrically if so configured), an
+// unlisted pair falls back to the class model, a nil fallback means
+// local, and the always-local cases (unplaced, same cluster, grid-level
+// view of resident data) are never consulted from the matrix.
+func TestLinkMatrixOverridesAndFallback(t *testing.T) {
+	fast := Link{MBps: 100, Latency: time.Second}
+	slow := Link{MBps: 1, Latency: 30 * time.Second}
+	m := &LinkMatrix{
+		Pairs: map[GridPair]Link{
+			{From: "g1", To: "g0"}: fast,
+			{From: "g0", To: "g1"}: slow,
+		},
+		Fallback: DefaultWAN(),
+	}
+	a, b := Site{Grid: "g0", Cluster: "ce00"}, Site{Grid: "g1", Cluster: "ce00"}
+	far := Site{Grid: "g9", Cluster: "ce00"}
+
+	if got := m.Link(b, a); got != fast {
+		t.Errorf("listed pair g1>g0 = %+v, want the fast link", got)
+	}
+	if got := m.Link(a, b); got != slow {
+		t.Errorf("listed pair g0>g1 = %+v, want the slow link (asymmetric)", got)
+	}
+	if got, want := m.Link(far, a), DefaultWAN().Link(far, a); got != want {
+		t.Errorf("unlisted pair = %+v, want the fallback's %+v", got, want)
+	}
+	if got := m.Link(Site{}, a); !got.Local {
+		t.Errorf("unplaced replica = %+v, want local", got)
+	}
+	if got := m.Link(a, a); !got.Local {
+		t.Errorf("same site = %+v, want local", got)
+	}
+	if got := m.Link(a, Site{Grid: "g0"}); !got.Local {
+		t.Errorf("grid-level view of resident data = %+v, want local", got)
+	}
+
+	bare := &LinkMatrix{Pairs: map[GridPair]Link{{From: "g1", To: "g0"}: fast}}
+	if got := bare.Link(far, a); !got.Local {
+		t.Errorf("nil fallback unlisted pair = %+v, want local", got)
+	}
+	if got := bare.Link(b, a); got != fast {
+		t.Errorf("nil fallback listed pair = %+v, want the fast link", got)
+	}
+}
+
+// TestLinkMatrixIntraGridPair pins that a (g, g) entry prices cross-
+// cluster movement inside one grid, while same-cluster and grid-level
+// consumers stay local — the matrix can refine the intra-grid class too.
+func TestLinkMatrixIntraGridPair(t *testing.T) {
+	intra := Link{MBps: 50, Latency: 100 * time.Millisecond}
+	m := &LinkMatrix{Pairs: map[GridPair]Link{{From: "g0", To: "g0"}: intra}}
+	a := Site{Grid: "g0", Cluster: "ce00"}
+	b := Site{Grid: "g0", Cluster: "ce01"}
+	if got := m.Link(a, b); got != intra {
+		t.Errorf("cross-cluster intra-grid = %+v, want the listed intra link", got)
+	}
+	if got := m.Link(a, a); !got.Local {
+		t.Errorf("same cluster = %+v, want local", got)
+	}
+	if got := m.Link(a, Site{Grid: "g0"}); !got.Local {
+		t.Errorf("grid-level consumer = %+v, want local", got)
+	}
+}

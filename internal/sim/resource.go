@@ -90,11 +90,27 @@ func (r *Resource) Release() {
 // Use acquires a slot, holds it for d, then releases it and calls done
 // (which may be nil). It is the hold-for-a-duration convenience wrapper.
 func (r *Resource) Use(d Time, done func()) {
+	if done == nil {
+		r.UseWait(d, nil)
+		return
+	}
+	r.UseWait(d, func(Time) { done() })
+}
+
+// UseWait is Use with wait-time reporting: it acquires a slot, holds it
+// for d, releases it, and calls done (which may be nil) with the virtual
+// time the request spent queued before the grant (zero when a slot was
+// free on arrival). It is the building block of contended transfer
+// channels, whose callers account channel congestion separately from the
+// transfer itself.
+func (r *Resource) UseWait(d Time, done func(waited Time)) {
+	start := r.eng.Now()
 	r.Acquire(func() {
+		waited := r.eng.Now() - start
 		r.eng.Schedule(d, func() {
 			r.Release()
 			if done != nil {
-				done()
+				done(waited)
 			}
 		})
 	})

@@ -527,6 +527,110 @@ func TestRunUntilAllCancelledBucket(t *testing.T) {
 	}
 }
 
+// TestResourceReleaseRacesSameInstantAcquire pins the grant order when a
+// Release and a fresh Acquire land in the same virtual instant: the
+// queued waiter (FIFO head) gets the freed slot, and the same-instant
+// newcomer queues behind it — in both event orderings (release fires
+// before the new acquire, and after it).
+func TestResourceReleaseRacesSameInstantAcquire(t *testing.T) {
+	for _, acquireFirst := range []bool{false, true} {
+		e := NewEngine()
+		r := NewResource(e, 1)
+		var order []string
+		r.Acquire(func() {}) // holder; released at 1s below
+		r.Acquire(func() { order = append(order, "waiter") })
+
+		release := func() { r.Release() }
+		newcomer := func() {
+			r.Acquire(func() {
+				order = append(order, "newcomer")
+				// Hold through the instant so the grant order is observable.
+				e.Schedule(time.Second, func() { r.Release() })
+			})
+		}
+		if acquireFirst {
+			e.Schedule(time.Second, newcomer)
+			e.Schedule(time.Second, release)
+		} else {
+			e.Schedule(time.Second, release)
+			e.Schedule(time.Second, newcomer)
+		}
+		// Free the waiter's slot so the newcomer eventually runs.
+		e.Schedule(2*time.Second, func() { r.Release() })
+		e.Run()
+		if len(order) != 2 || order[0] != "waiter" || order[1] != "newcomer" {
+			t.Errorf("acquireFirst=%v: grant order %v, want [waiter newcomer]", acquireFirst, order)
+		}
+		if r.Busy() != 0 || r.Waiting() != 0 {
+			t.Errorf("acquireFirst=%v: busy=%d waiting=%d after drain", acquireFirst, r.Busy(), r.Waiting())
+		}
+	}
+}
+
+// TestResourcePeakStatsBatchedSameBucket pins PeakWaiting and Grants when
+// every acquisition arrives in one same-instant bucket: the queue peaks
+// at n−capacity before any release, every request is eventually granted
+// exactly once, and the makespan is the ceiling bound.
+func TestResourcePeakStatsBatchedSameBucket(t *testing.T) {
+	const n, capacity = 9, 2
+	e := NewEngine()
+	r := NewResource(e, capacity)
+	done := 0
+	for i := 0; i < n; i++ {
+		e.Schedule(time.Second, func() {
+			r.Use(time.Second, func() { done++ })
+		})
+	}
+	e.Run()
+	if done != n {
+		t.Fatalf("done = %d, want %d", done, n)
+	}
+	if r.PeakWaiting() != n-capacity {
+		t.Errorf("PeakWaiting = %d, want %d (whole batch queued before the first release)", r.PeakWaiting(), n-capacity)
+	}
+	if r.Grants() != n {
+		t.Errorf("Grants = %d, want %d", r.Grants(), n)
+	}
+	if r.PeakBusy() != capacity {
+		t.Errorf("PeakBusy = %d, want %d", r.PeakBusy(), capacity)
+	}
+	// 1s of arrival + ceil(9/2) rounds of 1s holds.
+	if want := time.Second + Time((n+capacity-1)/capacity)*time.Second; e.Now() != want {
+		t.Errorf("makespan = %v, want %v", e.Now(), want)
+	}
+}
+
+// TestUseWaitReportsQueueTime pins the UseWait contract: the callback
+// receives exactly the time spent queued before the grant (zero for the
+// immediate grant), and the holds still serialize FIFO.
+func TestUseWaitReportsQueueTime(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 1)
+	var waits []Time
+	for i := 0; i < 3; i++ {
+		r.UseWait(time.Second, func(w Time) { waits = append(waits, w) })
+	}
+	if r.Waiting() != 2 {
+		t.Fatalf("Waiting = %d, want 2", r.Waiting())
+	}
+	e.Run()
+	want := []Time{0, time.Second, 2 * time.Second}
+	if len(waits) != len(want) {
+		t.Fatalf("waits = %v, want %v", waits, want)
+	}
+	for i := range want {
+		if waits[i] != want[i] {
+			t.Errorf("waits[%d] = %v, want %v", i, waits[i], want[i])
+		}
+	}
+	// A nil done must not crash the release path.
+	r.UseWait(time.Second, nil)
+	e.Run()
+	if r.Busy() != 0 {
+		t.Errorf("Busy = %d after nil-done UseWait drained", r.Busy())
+	}
+}
+
 func BenchmarkScheduleRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e := NewEngine()

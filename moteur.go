@@ -219,6 +219,11 @@ type (
 	FederationTelemetry = federation.Telemetry
 	// BrokerPolicy decides which member grid receives each submission.
 	BrokerPolicy = federation.Policy
+	// FederationOutage schedules a member grid going dark for a window
+	// (in-flight jobs fail and re-broker elsewhere; telemetry ages out on
+	// recovery). Outages can also be driven with Federation.SetDown and
+	// Federation.SetUp.
+	FederationOutage = federation.Outage
 )
 
 // Federation constructors and broker policies.
@@ -254,11 +259,23 @@ type (
 	// DataLinks is the default three-class link model (intra-cluster ≪
 	// intra-grid ≪ WAN).
 	DataLinks = grid.Links
+	// DataGridPair is one ordered (fromGrid, toGrid) edge of the
+	// grid-level transfer topology.
+	DataGridPair = grid.GridPair
+	// DataLinkMatrix prices replica movement per ordered grid pair,
+	// falling back to a class model for unlisted pairs.
+	DataLinkMatrix = grid.LinkMatrix
 	// DataReplica is one physical copy of a registered file at a site.
 	DataReplica = grid.Replica
+	// WANFabric is the contended WAN fabric: one capacity-limited shared
+	// channel per ordered grid pair, so concurrent cross-grid fetches
+	// queue instead of overlapping for free. Attach one to a catalog
+	// with Catalog.SetFabric, or let FederationConfig.WANStreams build
+	// it.
+	WANFabric = grid.Fabric
 )
 
-// Link-model constructors.
+// Link-model and fabric constructors.
 var (
 	// DefaultWANLinks prices cross-grid fetches at a 2 MB/s, 5 s-latency
 	// WAN link (the federation default).
@@ -266,6 +283,9 @@ var (
 	// AllLocalLinks treats every replica as local — the location-blind
 	// transfer model (PR 3 free cross-grid staging).
 	AllLocalLinks = grid.LocalLinks
+	// NewWANFabric builds a contended WAN fabric with the given default
+	// per-pair stream count on the engine.
+	NewWANFabric = grid.NewFabric
 )
 
 // Data identity.
