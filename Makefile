@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench campaign-bench federation-bench locality-bench wan-bench clean help
+.PHONY: all build test vet bench campaign-bench federation-bench locality-bench wan-bench storage-bench clean help
 
 all: vet build test
 
@@ -46,8 +46,15 @@ locality-bench:
 wan-bench:
 	$(GO) test -bench BenchmarkFederationContention -benchmem -benchtime 2x -run '^$$' . | tee BENCH_5.json
 
+# Active-storage churn benchmark (finite storage elements, popularity
+# eviction, k=2 replication repair, correlated storage outages); two
+# iterations so the in-benchmark determinism assertion compares dispatch
+# schedules, eviction totals and repair counts across runs.
+storage-bench:
+	$(GO) test -bench BenchmarkStorageChurn -benchmem -benchtime 2x -run '^$$' . | tee BENCH_6.json
+
 clean:
-	rm -f BENCH_1.json BENCH_2.json BENCH_3.json BENCH_4.json BENCH_5.json
+	rm -f BENCH_1.json BENCH_2.json BENCH_3.json BENCH_4.json BENCH_5.json BENCH_6.json
 
 help:
 	@echo "Targets:"
@@ -60,4 +67,5 @@ help:
 	@echo "  federation-bench 4 grids x 16 tenants, ranked broker   -> BENCH_3.json"
 	@echo "  locality-bench   skewed replicas over a WAN, ranked    -> BENCH_4.json"
 	@echo "  wan-bench        contended per-pair WAN channels       -> BENCH_5.json"
+	@echo "  storage-bench    SE capacity churn, eviction, repair   -> BENCH_6.json"
 	@echo "  clean            remove BENCH_*.json"

@@ -6,6 +6,7 @@
 package moteur
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 	"time"
@@ -831,4 +832,118 @@ func BenchmarkAblationDataGrouping(b *testing.B) {
 			b.ReportMetric(last.Seconds(), "sim_s")
 		})
 	}
+}
+
+// BenchmarkStorageChurn measures the active storage layer end to end:
+// 4 heterogeneous grids whose storage elements have finite capacity and
+// popularity-weighted eviction, a replicated reference corpus whose
+// third copies are churned out under capacity pressure, a k=2
+// replication floor that repairs every single-copy output up to two
+// sites, and two correlated storage-outage windows that force in-flight
+// fetch legs to re-stage from surviving replicas. Per-grid dispatch and
+// re-staging counts, per-element eviction totals, repair totals and the
+// terminal job mix are captured on the first iteration and asserted
+// identical on every subsequent one, so the benchmark doubles as the
+// storage-churn determinism check. sim_s reports the last terminal job
+// time, jobs the terminal job count, evicted_mb the bytes drained under
+// capacity pressure, repairs the replica copies the floor commissioned,
+// restage_rounds the backed-off re-staging rounds the outages forced,
+// and lost the jobs that failed with ErrReplicaLost.
+func BenchmarkStorageChurn(b *testing.B) {
+	const (
+		nGrids = 4
+		nFiles = 24
+		nJobs  = 200
+		fileMB = 30
+	)
+	var firstVec []string
+	var span time.Duration
+	var jobs, lost, restage int
+	var evictedMB, repairedMB float64
+	var repairs int
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		fed, err := federation.New(eng, federation.Config{
+			Grids:      federation.HeterogeneousSpecs(nGrids, 1),
+			Policy:     federation.RankedSafe(),
+			Rebroker:   1,
+			WANStreams: 2,
+			// 400 MB per element against a 540 MB corpus share: the
+			// third corpus copies churn, the floor-protected ones stay.
+			SECapacityMB: 400,
+			SEEviction:   grid.EvictPopularity(),
+			MinReplicas:  2,
+			Outages: []federation.Outage{
+				{Grid: "grid01", At: 20 * time.Minute, For: 15 * time.Minute, Storage: true},
+				{Grid: "grid02", At: 25 * time.Minute, For: 15 * time.Minute, Storage: true},
+				{Grid: "grid01", At: 60 * time.Minute, For: 10 * time.Minute, Storage: true},
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cat := fed.Catalog()
+		corpus := make([]string, nFiles)
+		for j := 0; j < nFiles; j++ {
+			corpus[j] = fmt.Sprintf("gfn://corpus/%03d", j)
+			cat.RegisterAt(corpus[j], fileMB, grid.Site{Grid: fed.GridName(j % nGrids)})
+			cat.AddReplica(corpus[j], grid.Site{Grid: fed.GridName((j + 1) % nGrids)})
+			cat.AddReplica(corpus[j], grid.Site{Grid: fed.GridName((j + 2) % nGrids)})
+		}
+		for k := 0; k < nJobs; k++ {
+			k := k
+			eng.Schedule(sim.Time(k)*sim.Time(30*time.Second), func() {
+				fed.Submit(grid.JobSpec{
+					Name: fmt.Sprintf("job%03d", k),
+					// Deterministic heavy tail: a hot head of 5 files
+					// plus a quadratic scatter over the whole corpus.
+					Inputs: []string{corpus[k%5], corpus[(k*k)%nFiles]},
+					Outputs: []grid.FileDecl{
+						{Name: fmt.Sprintf("gfn://derived/%03d", k), SizeMB: 40},
+					},
+					Runtime: time.Minute,
+				}, func(*grid.JobRecord) {})
+			})
+		}
+		eng.Run()
+
+		var vec []string
+		span, jobs, lost, restage, repairs = 0, 0, 0, 0, fed.Repairs()
+		evictedMB, repairedMB = 0, fed.RepairedMB()
+		for _, rec := range fed.Records() {
+			jobs++
+			if errors.Is(rec.Err, grid.ErrReplicaLost) {
+				lost++
+			}
+			if t := time.Duration(rec.Completed); t > span {
+				span = t
+			}
+		}
+		for j := 0; j < fed.Size(); j++ {
+			restage += int(fed.Grid(j).Restages())
+			vec = append(vec, fmt.Sprintf("%s|%d|%d",
+				fed.GridName(j), fed.Telemetry(j).Dispatched, fed.Grid(j).Restages()))
+		}
+		for _, st := range cat.SEStats() {
+			evictedMB += st.EvictedMB
+			vec = append(vec, fmt.Sprintf("%s/%s|%d|%.1f|%.1f",
+				st.Site.Grid, st.Site.Cluster, st.Evictions, st.EvictedMB, st.PeakMB))
+		}
+		vec = append(vec, fmt.Sprintf("repairs|%d|%.1f|lost|%d", repairs, repairedMB, lost))
+		if firstVec == nil {
+			firstVec = vec
+		} else {
+			for j := range vec {
+				if vec[j] != firstVec[j] {
+					b.Fatalf("storage churn not deterministic at %d: %q vs %q", j, vec[j], firstVec[j])
+				}
+			}
+		}
+	}
+	b.ReportMetric(span.Seconds(), "sim_s")
+	b.ReportMetric(float64(jobs), "jobs")
+	b.ReportMetric(evictedMB, "evicted_mb")
+	b.ReportMetric(float64(repairs), "repairs")
+	b.ReportMetric(float64(restage), "restage_rounds")
+	b.ReportMetric(float64(lost), "lost")
 }

@@ -21,6 +21,15 @@
 // the locality-aware ranked policy, its locality-blind control and
 // least-backlog, mapping out when data-aware brokering pays.
 //
+// Storage elements are active too: -se-cap gives every element a finite
+// capacity with -se-policy eviction (lru or popularity), -minreplicas
+// arms the k-replication repair floor, and -se-outage takes one member's
+// storage (not its compute) dark for a window, so fetches sourced from
+// it fail and re-stage from surviving replicas. The evicted_mb, lost and
+// restage columns report the resulting churn: bytes drained under
+// capacity pressure, jobs whose entire replica set died (ErrReplicaLost)
+// and backed-off re-staging rounds.
+//
 // Examples:
 //
 //	federation                                  # sweep all policies, 4 grids × 16 tenants
@@ -29,10 +38,13 @@
 //	federation -policies ranked,rr -outage grid01@2h+90m -rebroker 2
 //	federation -pairs 'grid00>grid01=1:10s,grid01>grid00=8:1s' -skew 1
 //	federation -locality -skews 0,0.5,1 -wans 0.5,2,8
+//	federation -se-cap 400 -se-policy popularity -minreplicas 2 -skew 1
+//	federation -policies ranked,ranked-safe -se-outage grid01@1h+2h -minreplicas 2
 //	federation -policies ranked,pinned:3 -v     # acceptance comparison + per-grid tables
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -70,6 +82,9 @@ type sweep struct {
 	links                        grid.LinkModel
 	wanStreams                   int
 	outages                      []federation.Outage
+	seCap                        float64
+	sePolicy                     grid.EvictionPolicy
+	minReplicas                  int
 }
 
 func main() {
@@ -83,12 +98,16 @@ func main() {
 		spread     = flag.Duration("spread", time.Minute, "arrival stagger between tenants")
 		seed       = flag.Uint64("seed", 1, "base random seed (grid i uses seed+i)")
 		rebroker   = flag.Int("rebroker", 1, "cross-grid resubmissions after terminal failure")
-		policies   = flag.String("policies", "ranked,backlog,rr,pinned:0", "comma-separated policies to sweep (ranked|ranked-blind|backlog|rr|pinned:N)")
+		policies   = flag.String("policies", "ranked,backlog,rr,pinned:0", "comma-separated policies to sweep (ranked|ranked-blind|ranked-safe|backlog|rr|pinned:N)")
 		skew       = flag.Float64("skew", 0, "fraction of each tenant's inputs placed on its home grid (homes rotate across members)")
 		wan        = flag.Float64("wan", 2, "WAN bandwidth between member grids (MB/s; 0 keeps cross-grid staging free)")
 		wanLat     = flag.Duration("wanlat", 5*time.Second, "per-file WAN fetch setup latency")
 		wanStreams = flag.Int("wanstreams", 0, "concurrent cross-grid fetches per ordered (from,to) grid pair (0 keeps the uncontended pure-delay WAN)")
 		outage     = flag.String("outage", "", "member-grid outage window, format name@start+duration (e.g. grid01@2h+90m; omit +duration for no recovery)")
+		seOutage   = flag.String("se-outage", "", "storage-only outage window (same format as -outage): the grid's storage elements go dark, its compute stays up")
+		seCap      = flag.Float64("se-cap", 0, "storage-element capacity per site (MB; 0 keeps elements unlimited)")
+		sePolicy   = flag.String("se-policy", "lru", "eviction policy of capacity-limited storage elements (lru|popularity)")
+		minRep     = flag.Int("minreplicas", 0, "replication floor k: files below k live replicas are repaired onto healthy grids (0 disables repair)")
 		pairs      = flag.String("pairs", "", "per-pair WAN link overrides, format from>to=MBps:latency[,...]; unlisted pairs fall back to -wan/-wanlat")
 		locality   = flag.Bool("locality", false, "run the locality sweep (replica skew × WAN bandwidth, aware vs blind vs backlog) instead of the policy sweep")
 		skews      = flag.String("skews", "0,0.5,1", "comma-separated skew values of the locality sweep")
@@ -102,6 +121,16 @@ func main() {
 		runtime: *runtime, fileMB: *fileMB, spread: *spread,
 		seed: *seed, rebroker: *rebroker, skew: *skew,
 		links: links(*wan, *wanLat), wanStreams: *wanStreams,
+		seCap: *seCap, minReplicas: *minRep,
+	}
+	switch *sePolicy {
+	case "lru":
+		s.sePolicy = grid.EvictLRU()
+	case "popularity":
+		s.sePolicy = grid.EvictPopularity()
+	default:
+		fmt.Fprintf(os.Stderr, "federation: -se-policy: unknown policy %q (want lru|popularity)\n", *sePolicy)
+		os.Exit(2)
 	}
 	if *pairs != "" {
 		lm, err := parsePairs(*pairs, s.links)
@@ -118,6 +147,15 @@ func main() {
 			os.Exit(2)
 		}
 		s.outages = []federation.Outage{o}
+	}
+	if *seOutage != "" {
+		o, err := parseOutage(*seOutage)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "federation: -se-outage:", err)
+			os.Exit(2)
+		}
+		o.Storage = true
+		s.outages = append(s.outages, o)
 	}
 
 	if *locality {
@@ -137,16 +175,24 @@ func main() {
 
 	fmt.Printf("federation sweep: %d tenants × %d-stage chains × %d items over %d heterogeneous grids (seed %d, rebroker %d, skew %.2f, wan %.1f MB/s, streams %d)\n",
 		s.tenants, s.servs, s.items, s.grids, s.seed, s.rebroker, s.skew, *wan, s.wanStreams)
-	if len(s.outages) > 0 {
-		o := s.outages[0]
+	for _, o := range s.outages {
+		dim := "dark"
+		if o.Storage {
+			dim = "storage dark"
+		}
 		if o.For > 0 {
-			fmt.Printf("outage: %s dark from %v to %v\n", o.Grid, o.At, o.At+o.For)
+			fmt.Printf("outage: %s %s from %v to %v\n", o.Grid, dim, o.At, o.At+o.For)
 		} else {
-			fmt.Printf("outage: %s dark from %v (no recovery)\n", o.Grid, o.At)
+			fmt.Printf("outage: %s %s from %v (no recovery)\n", o.Grid, dim, o.At)
 		}
 	}
-	fmt.Printf("\n%-16s %12s %12s %12s %6s %6s %10s %10s %10s %6s\n",
-		"policy", "span", "p50", "p95", "jobs", "failed", "resubmits", "wan_mb", "wan_wait", "grids")
+	if s.seCap > 0 {
+		fmt.Printf("storage: %.0f MB per element, %s eviction, replication floor %d\n", s.seCap, *sePolicy, s.minReplicas)
+	} else if s.minReplicas > 0 {
+		fmt.Printf("storage: unlimited elements, replication floor %d\n", s.minReplicas)
+	}
+	fmt.Printf("\n%-16s %12s %12s %12s %6s %6s %10s %10s %10s %10s %5s %8s %6s\n",
+		"policy", "span", "p50", "p95", "jobs", "failed", "resubmits", "wan_mb", "wan_wait", "evicted_mb", "lost", "restage", "grids")
 
 	for _, policy := range pols {
 		rep, fed := s.run(policy)
@@ -159,7 +205,7 @@ func main() {
 			ms = append(ms, tr.Makespan)
 		}
 		sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
-		used := 0
+		used, restage := 0, uint64(0)
 		var wanMB float64
 		var wanWait time.Duration
 		for i := 0; i < fed.Size(); i++ {
@@ -171,25 +217,51 @@ func main() {
 			// observation.
 			wanMB += fed.Grid(i).RemoteInMB()
 			wanWait += fed.Grid(i).WANWait()
+			restage += fed.Grid(i).Restages()
 		}
-		fmt.Printf("%-16s %12v %12v %12v %6d %6d %10d %10.0f %10v %3d/%d\n",
+		var evictedMB float64
+		for _, st := range fed.Catalog().SEStats() {
+			evictedMB += st.EvictedMB
+		}
+		lost := 0
+		for _, rec := range fed.Records() {
+			if errors.Is(rec.Err, grid.ErrReplicaLost) {
+				lost++
+			}
+		}
+		fmt.Printf("%-16s %12v %12v %12v %6d %6d %10d %10.0f %10v %10.0f %5d %8d %3d/%d\n",
 			policy.Name(), rep.Makespan.Round(time.Second),
 			pct(ms, 50).Round(time.Second), pct(ms, 95).Round(time.Second),
 			rep.Global.Jobs, rep.Global.Failed, rep.Global.Resubmits, wanMB,
-			wanWait.Round(time.Second), used, fed.Size())
+			wanWait.Round(time.Second), evictedMB, lost, restage, used, fed.Size())
 		if *verbose {
 			for i := 0; i < fed.Size(); i++ {
 				tl := fed.Telemetry(i)
-				fmt.Printf("    %-8s dispatched=%-5d observed=%-5d rebrokered=%-3d submitEWMA=%-8v queueEWMA=%-8v stretch=%-6.2f wan_mb=%-8.0f wan_wait=%v\n",
+				fmt.Printf("    %-8s dispatched=%-5d observed=%-5d rebrokered=%-3d submitEWMA=%-8v queueEWMA=%-8v stretch=%-6.2f wan_mb=%-8.0f wan_wait=%-8v restages=%d\n",
 					fed.GridName(i), tl.Dispatched, tl.Observed, tl.Rebrokered,
 					tl.SubmitEWMA.Round(time.Second), tl.QueueEWMA.Round(time.Second),
-					tl.Stretch(), fed.Grid(i).RemoteInMB(), fed.Grid(i).WANWait().Round(time.Second))
+					tl.Stretch(), fed.Grid(i).RemoteInMB(), fed.Grid(i).WANWait().Round(time.Second),
+					fed.Grid(i).Restages())
 			}
 			if fab := fed.Fabric(); fab != nil {
 				for _, ps := range fab.PairStats() {
 					fmt.Printf("    %s>%s cap=%d grants=%d peak_queue=%d\n",
 						ps.From, ps.To, ps.Capacity, ps.Grants, ps.PeakWaiting)
 				}
+			}
+			for _, st := range fed.Catalog().SEStats() {
+				if st.Evictions == 0 && st.PeakMB == 0 {
+					continue
+				}
+				site := st.Site.Grid
+				if st.Site.Cluster != "" {
+					site += "/" + st.Site.Cluster
+				}
+				fmt.Printf("    SE %-20s used=%-8.0f peak=%-8.0f files=%-5d evictions=%-5d evicted_mb=%.0f\n",
+					site, st.UsedMB, st.PeakMB, st.Files, st.Evictions, st.EvictedMB)
+			}
+			if f := fed.Repairs(); f > 0 {
+				fmt.Printf("    repairs=%d repaired_mb=%.0f\n", f, fed.RepairedMB())
 			}
 		}
 	}
@@ -217,6 +289,10 @@ func (s sweep) run(policy federation.Policy) (*campaign.Report, *federation.Fede
 		Links:      s.links,
 		WANStreams: s.wanStreams,
 		Outages:    s.outages,
+		// Active storage: finite elements, eviction, k-replication repair.
+		SECapacityMB: s.seCap,
+		SEEviction:   s.sePolicy,
+		MinReplicas:  s.minReplicas,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "federation:", err)
@@ -394,6 +470,8 @@ func parsePolicy(name string, grids int) (federation.Policy, error) {
 		return federation.Ranked(), nil
 	case name == "ranked-blind":
 		return federation.RankedLocalityBlind(), nil
+	case name == "ranked-safe":
+		return federation.RankedSafe(), nil
 	case name == "backlog":
 		return federation.LeastBacklog(), nil
 	case name == "rr":
@@ -408,5 +486,5 @@ func parsePolicy(name string, grids int) (federation.Policy, error) {
 		}
 		return federation.Pinned(idx), nil
 	}
-	return nil, fmt.Errorf("unknown policy %q (want ranked|ranked-blind|backlog|rr|pinned:N)", name)
+	return nil, fmt.Errorf("unknown policy %q (want ranked|ranked-blind|ranked-safe|backlog|rr|pinned:N)", name)
 }

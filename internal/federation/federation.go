@@ -97,13 +97,31 @@ type Config struct {
 	Fabric *grid.Fabric
 	// Outages schedules member-grid outage windows at construction time
 	// (instants are relative to the engine clock at New). Windows of one
-	// grid must not overlap — each window's recovery is unconditional,
-	// so New rejects overlapping (or never-recovering-then-followed)
-	// windows. Outages can also be driven manually with SetDown/SetUp;
-	// mixing manual calls into a scheduled window is legal but the
-	// window's boundaries still fire (a manual SetDown inside a window
-	// is undone by the window's recovery).
+	// grid and one mode (full vs storage-only, see Outage.Storage) must
+	// not overlap — each window's recovery is unconditional, so New
+	// rejects overlapping (or never-recovering-then-followed) windows.
+	// Outages can also be driven manually with SetDown/SetUp (or
+	// SetStorageDown/SetStorageUp); mixing manual calls into a scheduled
+	// window is legal but the window's boundaries still fire (a manual
+	// SetDown inside a window is undone by the window's recovery).
 	Outages []Outage
+	// SECapacityMB, when positive, gives every member-grid storage
+	// element — the grid-level site and each cluster's close SE — an
+	// active capacity of that many megabytes, drained by the SEEviction
+	// policy when replicas overflow it. Zero keeps storage passive and
+	// unlimited (the pre-storage model, bit-identical goldens).
+	SECapacityMB float64
+	// SEEviction picks eviction victims on capacity overflow (only
+	// consulted when SECapacityMB is positive). Nil means grid.EvictLRU().
+	SEEviction grid.EvictionPolicy
+	// MinReplicas, when > 1, arms the replica-repair loop: every
+	// registered file is re-replicated onto additional member grids (via
+	// Catalog.AddReplica, paying the link model's transfer time) until it
+	// has that many live copies, both at registration (pre-staging) and
+	// whenever an SE death or eviction drops a file below the floor.
+	// Eviction also refuses to evict a replica of a file at or below the
+	// floor. Zero or one disables repair.
+	MinReplicas int
 }
 
 // Outage is one scheduled member-grid outage window: the named grid goes
@@ -121,6 +139,13 @@ type Outage struct {
 	At time.Duration
 	// For is the outage duration; zero means the grid stays dark.
 	For time.Duration
+	// Storage restricts the outage to the grid's storage dimension: an
+	// SE-only outage (grid.Grid.SetStorageDown) during which the grid
+	// keeps computing and accepting work, but its replicas are
+	// unreachable, nothing can stage in on it, and its completed jobs
+	// cannot register outputs. Storage and full windows of one grid may
+	// overlap — they are independent dimensions.
+	Storage bool
 }
 
 // Telemetry is the federation's smoothed overhead view of one member
@@ -203,6 +228,12 @@ type Federation struct {
 	// signals (see affinityReader): stage planning per pick is pure
 	// overhead for a policy that never reads it.
 	planViews bool
+	// repairing marks files with a replica-repair copy in flight, so one
+	// below-floor file triggers one transfer at a time; repairs and
+	// repairedMB account the copies that landed.
+	repairing  map[string]bool
+	repairs    int
+	repairedMB float64
 }
 
 // New builds a federation of the configured grids on the engine, sharing
@@ -216,6 +247,12 @@ func New(eng *sim.Engine, cfg Config) (*Federation, error) {
 	}
 	if cfg.EWMAAlpha < 0 || cfg.EWMAAlpha > 1 {
 		return nil, fmt.Errorf("federation: EWMAAlpha %v outside (0, 1]", cfg.EWMAAlpha)
+	}
+	if cfg.SECapacityMB < 0 {
+		return nil, errors.New("federation: negative SECapacityMB")
+	}
+	if cfg.MinReplicas < 0 {
+		return nil, errors.New("federation: negative MinReplicas")
 	}
 	f := &Federation{
 		eng:     eng,
@@ -272,6 +309,20 @@ func New(eng *sim.Engine, cfg Config) (*Federation, error) {
 		gs.Config.Name = name
 		f.names = append(f.names, name)
 		f.grids = append(f.grids, grid.NewWithCatalog(eng, gs.Config, f.catalog))
+		if cfg.SECapacityMB > 0 {
+			// Active storage: the grid-level SE (where repair copies and
+			// campaign-registered inputs land) and each cluster's close SE
+			// (where job outputs land) each get the configured capacity.
+			f.catalog.ConfigureSE(grid.Site{Grid: name}, cfg.SECapacityMB, cfg.SEEviction)
+			for _, cc := range gs.Config.Clusters {
+				f.catalog.ConfigureSE(grid.Site{Grid: name, Cluster: cc.Name}, cfg.SECapacityMB, cfg.SEEviction)
+			}
+		}
+	}
+	if cfg.MinReplicas > 1 {
+		f.repairing = make(map[string]bool)
+		f.catalog.SetReplicaFloor(cfg.MinReplicas)
+		f.catalog.SetRepairHook(f.repairNeeded)
 	}
 	type boundOutage struct {
 		idx int
@@ -293,11 +344,16 @@ func New(eng *sim.Engine, cfg Config) (*Federation, error) {
 		if o.At < 0 || o.For < 0 {
 			return nil, fmt.Errorf("federation: outage of %q has a negative instant or duration", o.Grid)
 		}
-		// Windows of one grid must not overlap: a window's scheduled
-		// recovery is unconditional, so an overlap would let the earlier
-		// window's SetUp revive a grid a later (or never-ending) window
-		// still holds dark.
-		for _, prev := range perGrid[o.Grid] {
+		// Windows of one grid and mode must not overlap: a window's
+		// scheduled recovery is unconditional, so an overlap would let
+		// the earlier window's SetUp revive a grid a later (or
+		// never-ending) window still holds dark. Full and storage-only
+		// windows are independent dimensions and may overlap freely.
+		key := o.Grid
+		if o.Storage {
+			key += "\x00storage"
+		}
+		for _, prev := range perGrid[key] {
 			lo, hi := prev, o
 			if hi.At < lo.At {
 				lo, hi = hi, lo
@@ -306,7 +362,7 @@ func New(eng *sim.Engine, cfg Config) (*Federation, error) {
 				return nil, fmt.Errorf("federation: outage windows of %q overlap", o.Grid)
 			}
 		}
-		perGrid[o.Grid] = append(perGrid[o.Grid], o)
+		perGrid[key] = append(perGrid[key], o)
 		scheduled = append(scheduled, boundOutage{idx, o})
 	}
 	// Schedule in chronological window order: same-instant events fire in
@@ -316,6 +372,13 @@ func New(eng *sim.Engine, cfg Config) (*Federation, error) {
 	sort.SliceStable(scheduled, func(i, j int) bool { return scheduled[i].o.At < scheduled[j].o.At })
 	for _, b := range scheduled {
 		idx, o := b.idx, b.o
+		if o.Storage {
+			eng.Schedule(sim.Time(o.At), func() { f.SetStorageDown(idx) })
+			if o.For > 0 {
+				eng.Schedule(sim.Time(o.At+o.For), func() { f.SetStorageUp(idx) })
+			}
+			continue
+		}
 		eng.Schedule(sim.Time(o.At), func() { f.SetDown(idx) })
 		if o.For > 0 {
 			eng.Schedule(sim.Time(o.At+o.For), func() { f.SetUp(idx) })
@@ -404,6 +467,32 @@ func (f *Federation) SetUp(i int) {
 // Down reports whether member grid i is currently dark.
 func (f *Federation) Down(i int) bool { return f.grids[i].Down() }
 
+// SetStorageDown takes member grid i's storage dimension dark — an
+// SE-only outage: the grid keeps computing and accepting brokered work,
+// but its replicas are unreachable (consumers elsewhere re-stage from
+// surviving copies), nothing can stage in on it, and its completed jobs
+// cannot register outputs. Storage-aware policies stop picking it for
+// jobs that need staging. Idempotent.
+func (f *Federation) SetStorageDown(i int) { f.grids[i].SetStorageDown(true) }
+
+// SetStorageUp recovers member grid i's storage dimension: its replicas
+// become fetchable again and in-flight re-staging backoffs find them on
+// their next round. Unlike SetUp, no telemetry is aged — the middleware
+// never went dark, so its overhead characterization stayed valid.
+// Idempotent.
+func (f *Federation) SetStorageUp(i int) { f.grids[i].SetStorageDown(false) }
+
+// StorageDown reports whether member grid i's storage dimension is dark
+// (true during both SE-only and full outages).
+func (f *Federation) StorageDown(i int) bool { return f.grids[i].StorageDown() }
+
+// Repairs returns the number of replica-repair copies that landed (see
+// Config.MinReplicas).
+func (f *Federation) Repairs() int { return f.repairs }
+
+// RepairedMB returns the megabytes moved by landed replica-repair copies.
+func (f *Federation) RepairedMB() float64 { return f.repairedMB }
+
 // TotalNodes returns the worker-node capacity across all member grids.
 func (f *Federation) TotalNodes() int {
 	n := 0
@@ -467,12 +556,16 @@ func (f *Federation) submit(tenant string, spec grid.JobSpec, done func(*grid.Jo
 func (f *Federation) pick(spec grid.JobSpec, exclude int) int {
 	plan := f.planViews && len(spec.Inputs) > 0 && !f.catalog.AllLocal()
 	for i, g := range f.grids {
-		f.views[i] = GridView{Index: i, Name: f.names[i], Down: g.Down(), Load: g.Load(), Telemetry: f.telem[i]}
+		f.views[i] = GridView{
+			Index: i, Name: f.names[i], Down: g.Down(),
+			StorageDown: g.StorageDown(), Load: g.Load(), Telemetry: f.telem[i],
+		}
 		if plan && !f.views[i].Down {
 			p := f.catalog.Plan(spec.Inputs, grid.Site{Grid: f.names[i]})
-			if p.Missing == "" {
+			if p.Missing == "" && p.Unavailable == "" {
 				f.views[i].AffinityMB = p.LocalMB
 				f.views[i].XferEst = p.RemoteTime
+				f.views[i].FragileEst = p.FragileTime
 			}
 		}
 	}
@@ -514,9 +607,11 @@ func (f *Federation) dispatch(tenant string, spec grid.JobSpec, done func(*grid.
 // rebrokerable reports whether another grid could plausibly run the job:
 // retry exhaustion is worth re-brokering (the failure was stochastic), a
 // missing catalog input is not (the catalog is shared — the file is
-// missing on every grid).
+// missing on every grid), and neither is a lost replica set (the data is
+// just as unreachable from every other grid, and the stage-in retry
+// budget already waited out any plausible recovery).
 func rebrokerable(r *grid.JobRecord) bool {
-	return !errors.Is(r.Err, grid.ErrNoSuchFile)
+	return !errors.Is(r.Err, grid.ErrNoSuchFile) && !errors.Is(r.Err, grid.ErrReplicaLost)
 }
 
 // observe folds a terminal record into the grid's overhead telemetry.

@@ -27,6 +27,16 @@ type GridView struct {
 	// and XferEst stay zero — there is no point planning a stage-in that
 	// cannot run).
 	Down bool
+	// StorageDown marks the grid's storage dimension dark (an SE-only
+	// outage, or a full outage): jobs brokered there cannot stage inputs
+	// or register outputs until it recovers, though pure computation
+	// still runs. It is a softer constraint than Down: the order-based
+	// policies (round-robin, pinned) prefer storage-up grids but still
+	// use a storage-dark one over a fully dark or excluded one, while
+	// among the argmin policies only RankedSafe prices it in — Ranked
+	// stays storage-blind as the control arm safety experiments compare
+	// against.
+	StorageDown bool
 	// Load is the grid's current backlog snapshot.
 	Load grid.Load
 	// Telemetry is the federation's smoothed per-grid overhead view.
@@ -43,6 +53,14 @@ type GridView struct {
 	// all-local, or when an input is missing from the catalog (a partial
 	// plan must not steer a doomed job's placement).
 	XferEst time.Duration
+	// FragileEst is the replica-safety signal of the job being placed:
+	// the estimated fetch time of the input bytes whose chosen replica is
+	// the LAST live copy anywhere and sits behind a non-local link — the
+	// exposure a mid-fetch SE death would turn into re-staging with no
+	// survivor to re-stage from. Zero when every input either has a
+	// spare live replica or is already resident here; populated under the
+	// same conditions as XferEst. Only RankedSafe consumes it.
+	FragileEst time.Duration
 }
 
 // Policy decides which member grid receives one job submission. Picks must
@@ -98,17 +116,20 @@ func (p *roundRobin) Pick(views []GridView, exclude int) int {
 }
 
 // scanUp returns the first view index at or after start (wrapping) that
-// is up — preferring, in a first pass, one that is also not excluded,
-// the same avoidance order as pickArgmin's tiers (downness is a harder
-// constraint than exclusion, so an up-but-excluded grid beats any dark
-// one). It returns -1 when every view is dark. It is the shared scan of
-// the order-based policies (round-robin, pinned).
+// is up — preferring, in a first pass, one whose storage is also up and
+// that is not excluded, then any non-excluded up view, the same
+// avoidance order as pickArgmin's tiers (downness is a harder constraint
+// than exclusion, which is harder than storage-darkness). It returns -1
+// when every view is dark. It is the shared scan of the order-based
+// policies (round-robin, pinned).
 func scanUp(views []GridView, start, exclude int) int {
 	n := len(views)
-	for pass := 0; pass < 2; pass++ {
+	for pass := 0; pass < 3; pass++ {
 		for i := 0; i < n; i++ {
 			j := (start + i) % n
-			if views[j].Down || (pass == 0 && j == exclude && n > 1) {
+			if views[j].Down ||
+				(pass == 0 && views[j].StorageDown) ||
+				(pass <= 1 && j == exclude && n > 1) {
 				continue
 			}
 			return j
@@ -142,7 +163,10 @@ func (leastBacklog) Pick(views []GridView, exclude int) int {
 // excluded, then every view. The tiers encode the shared avoidance
 // order of the stateless argmin policies — a dark grid is skipped while
 // any grid is up, an excluded grid while any alternative exists — with
-// ties resolving to the lowest index as always.
+// ties resolving to the lowest index as always. Storage-darkness is
+// deliberately NOT a tier: argmin policies stay storage-blind unless
+// their score prices it in (RankedSafe does; Ranked is the control arm
+// that does not).
 func pickArgmin(views []GridView, exclude int, score func(GridView) float64) int {
 	tiers := [...]func(GridView) bool{
 		func(v GridView) bool { return !v.Down && v.Index != exclude },
@@ -213,11 +237,47 @@ func Ranked() Policy { return ranked{} }
 // federation isolates exactly what data-awareness buys.
 func RankedLocalityBlind() Policy { return ranked{blind: true} }
 
-type ranked struct{ blind bool }
+// RankedSafe returns the replica-safety-aware variant of Ranked: the same
+// overhead and transfer terms, plus two storage-safety penalties. A
+// storage-dark grid is penalized by a flat storageDarkPenalty — during an
+// SE outage the dark grid's affinity signals vanish (nothing can be
+// planned there) and the blind ranking herds onto it as if staging were
+// free, exactly when every stage-in there must fail. And placements
+// whose inputs' last live copies must cross non-local links pay
+// safetyWeight times that fragile fetch time (GridView.FragileEst) — the
+// broker weighs "is my input's only copy on a flaky remote SE" alongside
+// proximity, preferring a grid where the fragile bytes are already
+// resident over one that must pull them across a link a single SE death
+// would sever mid-fetch. With no storage outage and every input safely
+// replicated (or unplaced) both penalties are zero on all views and the
+// ranking equals Ranked exactly.
+func RankedSafe() Policy { return ranked{safe: true} }
+
+// safetyWeight scales the replica-safety penalty of RankedSafe relative
+// to the nominal fetch seconds it is expressed in: a fragile fetch costs
+// its nominal time plus this multiple of it, pricing in the expected
+// re-staging (with no survivor to re-stage from) a mid-fetch SE death
+// would cause.
+const safetyWeight = 2.0
+
+// storageDarkPenalty (seconds) is RankedSafe's flat score penalty on a
+// storage-dark grid: far above any realistic overhead score, so a
+// storage-live grid always outranks a storage-dark one, while an
+// all-storage-dark federation still resolves by the underlying ranking
+// rather than refusing to pick.
+const storageDarkPenalty = 3600.0
+
+type ranked struct {
+	blind bool
+	safe  bool
+}
 
 func (p ranked) Name() string {
 	if p.blind {
 		return "ranked-blind"
+	}
+	if p.safe {
+		return "ranked-safe"
 	}
 	return "overhead-ranked"
 }
@@ -237,6 +297,12 @@ func (p ranked) Pick(views []GridView, exclude int) int {
 			// scaled by the grid's observed congestion stretch — exactly
 			// the nominal estimate on an uncontended fabric (stretch 1).
 			score += v.XferEst.Seconds() * v.Telemetry.Stretch()
+		}
+		if p.safe {
+			if v.StorageDown {
+				score += storageDarkPenalty
+			}
+			score += safetyWeight * v.FragileEst.Seconds()
 		}
 		return score
 	})

@@ -1,0 +1,89 @@
+package federation
+
+import (
+	"repro/internal/grid"
+	"repro/internal/sim"
+)
+
+// repairNeeded is the catalog's repair hook (armed by Config.MinReplicas
+// > 1): the named file just dropped below the replica floor — at
+// registration with too few initial copies, or because an SE death or
+// grid outage darkened enough of its replica set. One repair transfer is
+// scheduled at a time per file; each landed copy re-checks the floor, so
+// a file registered with one replica under MinReplicas 3 is topped up by
+// two sequential copies.
+func (f *Federation) repairNeeded(name string) {
+	if f.repairing[name] {
+		return
+	}
+	f.scheduleRepair(name)
+}
+
+// scheduleRepair copies one replica of the named file onto the first
+// member grid (configuration order) that is fully alive and does not
+// already hold a live copy, paying the link model's transfer time from
+// the best surviving replica as a pure delay. Repair traffic does not
+// occupy the contended WAN fabric: it models an asynchronous replica
+// manager trickling copies in the background, not a job's synchronous
+// stage-in (documented in DESIGN.md; folding it into the fabric is an
+// open item). No-ops when the file has no live source left (it is lost —
+// repair cannot invent data), when an unplaced replica exists (local
+// everywhere, nothing to repair), or when no eligible target remains.
+func (f *Federation) scheduleRepair(name string) {
+	size, ok := f.catalog.Lookup(name)
+	if !ok {
+		return
+	}
+	live := f.catalog.LiveReplicas(name)
+	if len(live) == 0 {
+		return
+	}
+	for _, r := range live {
+		if (r.Site == grid.Site{}) {
+			return
+		}
+	}
+	if len(live) >= f.cfg.MinReplicas {
+		return
+	}
+	target := -1
+	for i := range f.grids {
+		if f.grids[i].Down() || f.grids[i].StorageDown() {
+			continue
+		}
+		held := false
+		for _, r := range live {
+			if r.Site.Grid == f.names[i] {
+				held = true
+				break
+			}
+		}
+		if !held {
+			target = i
+			break
+		}
+	}
+	if target < 0 {
+		return
+	}
+	src := live[0].Site
+	dst := grid.Site{Grid: f.names[target]}
+	d := f.catalog.Links().Link(src, dst).Cost(size)
+	f.repairing[name] = true
+	f.eng.Schedule(sim.Time(d), func() {
+		delete(f.repairing, name)
+		// The world may have moved during the transfer: the file may be
+		// unregistered, the source may have died mid-copy, or the target
+		// may have gone dark — a copy from/to a dead SE never lands.
+		if !f.catalog.Has(name) || f.catalog.SiteDark(src) || f.catalog.SiteDark(dst) {
+			return
+		}
+		if f.catalog.AddReplica(name, dst) {
+			f.repairs++
+			f.repairedMB += size
+		}
+		// Top up toward the floor (or re-try elsewhere if replicas died
+		// while this copy was in flight).
+		f.repairNeeded(name)
+	})
+}

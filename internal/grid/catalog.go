@@ -3,6 +3,8 @@ package grid
 import (
 	"sort"
 	"time"
+
+	"repro/internal/sim"
 )
 
 // Replica is one physical copy of a registered file, pinned to a site (or
@@ -38,6 +40,20 @@ type Catalog struct {
 	files  map[string]*catEntry
 	links  LinkModel
 	fabric *Fabric
+
+	// Active storage state (see storage.go): per-site storage elements,
+	// grid- and element-level darkness, the k-replication floor and its
+	// repair hook, and the engine clock for access-recency accounting.
+	// All of it is inert until a storage element is configured or a grid
+	// goes dark, which is what keeps the location-blind paths (and their
+	// goldens) bit-identical.
+	storage   map[string]*seState
+	gridDark  map[string]bool
+	darkGrids int
+	darkSEs   int
+	floor     int
+	repair    func(name string)
+	now       func() sim.Time
 }
 
 // NewCatalog returns an empty catalog with the all-local link model
@@ -93,9 +109,20 @@ func (c *Catalog) Register(name string, sizeMB float64) {
 
 // RegisterAt records a file as a single replica at the given site,
 // replacing any previous replica set for the name. Completed jobs use it
-// to register their outputs at the cluster that produced them.
+// to register their outputs at the cluster that produced them. The new
+// replica joins its site's storage element (evicting under capacity
+// pressure), replaced replicas leave theirs, and a replication floor
+// above one fires the repair hook for the fresh single-copy set.
 func (c *Catalog) RegisterAt(name string, sizeMB float64, site Site) {
-	c.files[name] = &catEntry{sizeMB: sizeMB, reps: []Replica{{Site: site, SizeMB: sizeMB}}}
+	if old, ok := c.files[name]; ok && len(c.storage) > 0 {
+		for _, r := range old.reps {
+			c.removeResident(name, r.Site)
+		}
+	}
+	e := &catEntry{sizeMB: sizeMB, reps: []Replica{{Site: site, SizeMB: sizeMB}}}
+	c.files[name] = e
+	c.addResident(name, sizeMB, site)
+	c.checkFloor(name, e)
 }
 
 // AddReplica records an additional copy of an already-registered file at
@@ -114,6 +141,60 @@ func (c *Catalog) AddReplica(name string, site Site) bool {
 	e.reps = append(e.reps, Replica{})
 	copy(e.reps[i+1:], e.reps[i:])
 	e.reps[i] = Replica{Site: site, SizeMB: e.sizeMB}
+	c.addResident(name, e.sizeMB, site)
+	return true
+}
+
+// dropReplica removes the site's replica from the entry's sorted set,
+// reporting whether one was present. It is the bare set maintenance —
+// callers account storage residency and the replication floor themselves
+// (eviction has already done both when it gets here).
+func (c *Catalog) dropReplica(name string, site Site) bool {
+	e, ok := c.files[name]
+	if !ok {
+		return false
+	}
+	key := site.key()
+	i := sort.Search(len(e.reps), func(i int) bool { return e.reps[i].Site.key() >= key })
+	if i >= len(e.reps) || e.reps[i].Site != site {
+		return false
+	}
+	e.reps = append(e.reps[:i], e.reps[i+1:]...)
+	return true
+}
+
+// RemoveReplica deletes the file's replica at the given site, reporting
+// false (and changing nothing) when the name or the replica is unknown.
+// The sorted-by-site invariant of the remaining set is preserved. The
+// copy leaves its site's storage element, and dropping the set below the
+// replication floor fires the repair hook. Removing the last replica
+// keeps the name registered with an empty set: the file is known but has
+// no fetchable copy, so stage plans report it unavailable (the replica-
+// lost path) rather than missing (the unregistered-name path).
+func (c *Catalog) RemoveReplica(name string, site Site) bool {
+	if !c.dropReplica(name, site) {
+		return false
+	}
+	c.removeResident(name, site)
+	c.checkFloor(name, c.files[name])
+	return true
+}
+
+// Unregister deletes the file and its whole replica set from the catalog,
+// reporting false when the name is unknown. Every copy leaves its site's
+// storage element; the repair hook does not fire (deliberate deletion is
+// not a loss to repair).
+func (c *Catalog) Unregister(name string) bool {
+	e, ok := c.files[name]
+	if !ok {
+		return false
+	}
+	if len(c.storage) > 0 {
+		for _, r := range e.reps {
+			c.removeResident(name, r.Site)
+		}
+	}
+	delete(c.files, name)
 	return true
 }
 
@@ -157,28 +238,52 @@ func (c *Catalog) Names() []string {
 	return names
 }
 
-// best returns the cheapest replica of the file for a consumer at site
-// `to` under the catalog's link model, with its link. Replica selection is
-// deterministic: the estimated fetch cost (Link.Cost) is minimized, and
+// best returns the cheapest live replica of the file for a consumer at
+// site `to` under the catalog's link model, with its link and the live
+// replica count. Replica selection is deterministic: the estimated fetch
+// cost (Link.Cost) is minimized among replicas whose storage is up, and
 // ties — every local replica ties at zero — resolve to the first replica
-// in site-key order.
-func (c *Catalog) best(name string, to Site) (Replica, Link, bool) {
+// in site-key order. ok is false for an unregistered name; live is zero
+// when the name is registered but every copy is dark or evicted (the
+// returned replica is meaningless then). While no storage is dark the
+// liveness checks are skipped entirely, preserving the pre-storage scan.
+func (c *Catalog) best(name string, to Site) (rep Replica, link Link, live int, ok bool) {
 	e, ok := c.files[name]
 	if !ok {
-		return Replica{}, Link{}, false
+		return Replica{}, Link{}, 0, false
 	}
-	bestRep, bestLink := e.reps[0], c.links.Link(e.reps[0].Site, to)
-	bestCost := bestLink.Cost(e.sizeMB)
-	for _, rep := range e.reps[1:] {
-		if bestCost == 0 {
-			break // a local replica cannot be beaten
+	if !c.anyDark() {
+		if len(e.reps) == 0 {
+			return Replica{}, Link{}, 0, true
 		}
-		link := c.links.Link(rep.Site, to)
-		if cost := link.Cost(e.sizeMB); cost < bestCost {
-			bestRep, bestLink, bestCost = rep, link, cost
+		bestRep, bestLink := e.reps[0], c.links.Link(e.reps[0].Site, to)
+		bestCost := bestLink.Cost(e.sizeMB)
+		for _, rep := range e.reps[1:] {
+			if bestCost == 0 {
+				break // a local replica cannot be beaten
+			}
+			link := c.links.Link(rep.Site, to)
+			if cost := link.Cost(e.sizeMB); cost < bestCost {
+				bestRep, bestLink, bestCost = rep, link, cost
+			}
 		}
+		return bestRep, bestLink, len(e.reps), true
 	}
-	return bestRep, bestLink, true
+	var bestRep Replica
+	var bestLink Link
+	var bestCost time.Duration
+	for _, r := range e.reps {
+		if c.SiteDark(r.Site) {
+			continue
+		}
+		l := c.links.Link(r.Site, to)
+		cost := l.Cost(e.sizeMB)
+		if live == 0 || cost < bestCost {
+			bestRep, bestLink, bestCost = r, l, cost
+		}
+		live++
+	}
+	return bestRep, bestLink, live, true
 }
 
 // StagePlan is the resolved transfer work of one job's input set at a
@@ -209,6 +314,21 @@ type StagePlan struct {
 	// Missing is the first input (in declaration order) absent from the
 	// catalog; the plan is unusable when it is non-empty.
 	Missing string
+	// Unavailable is the first input (in declaration order) that is
+	// registered but has no live replica — every copy sits on dark
+	// storage or was evicted away. The plan is unusable when it is
+	// non-empty, but unlike Missing the condition is transient: stage-in
+	// retries it with backoff, and only exhausted retries turn it into
+	// ErrReplicaLost.
+	Unavailable string
+	// FragileMB and FragileTime total the inputs whose chosen replica is
+	// the file's last live copy reachable only over a non-local link: the
+	// bytes at risk and their fetch cost. A consumer on the grid holding
+	// the last copy scores zero (the copy is local — no WAN exposure), so
+	// the replica-safety term of the ranked broker steers jobs toward the
+	// data whose loss would strand them.
+	FragileMB   float64
+	FragileTime time.Duration
 }
 
 // RemoteLeg is the remote class of one source grid within a stage plan:
@@ -224,6 +344,11 @@ type RemoteLeg struct {
 	// Time is the leg's serialized fetch time (latency plus
 	// size/bandwidth summed over its files).
 	Time time.Duration
+	// Sites lists the source sites contributing files to the leg, in
+	// first-contribution order — the liveness set the contended stage-in
+	// checks at leg start and completion, so a storage element dying
+	// mid-fetch fails the leg.
+	Sites []Site
 }
 
 // Plan resolves the inputs against the replica catalog for a consumer at
@@ -233,7 +358,7 @@ type RemoteLeg struct {
 // cluster rankers use it for cost estimates with exactly the semantics
 // stage-in will pay.
 func (c *Catalog) Plan(inputs []string, to Site) StagePlan {
-	return c.plan(inputs, to, false)
+	return c.plan(inputs, to, false, false)
 }
 
 // PlanDetailed is Plan with the per-source-grid leg breakdown
@@ -241,16 +366,35 @@ func (c *Catalog) Plan(inputs []string, to Site) StagePlan {
 // contended stage-in path uses it to acquire each leg's WAN channel;
 // rankers keep using Plan, whose aggregate-only result allocates nothing.
 func (c *Catalog) PlanDetailed(inputs []string, to Site) StagePlan {
-	return c.plan(inputs, to, true)
+	return c.plan(inputs, to, true, false)
 }
 
-func (c *Catalog) plan(inputs []string, to Site, detail bool) StagePlan {
+// stagePlan is the plan variant of the actual stage-in path: legs are
+// materialized and the chosen replicas' access records are touched (the
+// only place accesses count — planning for ranking stays read-only, so
+// broker estimates never distort eviction recency or popularity).
+func (c *Catalog) stagePlan(inputs []string, to Site) StagePlan {
+	return c.plan(inputs, to, true, true)
+}
+
+func (c *Catalog) plan(inputs []string, to Site, detail, touch bool) StagePlan {
 	var p StagePlan
 	for _, name := range inputs {
-		rep, link, ok := c.best(name, to)
+		rep, link, live, ok := c.best(name, to)
 		if !ok {
 			p.Missing = name
 			return p
+		}
+		if live == 0 {
+			p.Unavailable = name
+			return p
+		}
+		if touch {
+			c.touch(name, rep)
+		}
+		if live == 1 && !link.Local {
+			p.FragileMB += rep.SizeMB
+			p.FragileTime += link.Cost(rep.SizeMB)
 		}
 		if link.Local {
 			p.LocalMB += rep.SizeMB
@@ -261,7 +405,7 @@ func (c *Catalog) plan(inputs []string, to Site, detail bool) StagePlan {
 			p.RemoteFiles++
 			p.RemoteTime += cost
 			if detail {
-				p.addLeg(rep.Site.Grid, rep.SizeMB, cost)
+				p.addLeg(rep.Site, rep.SizeMB, cost)
 			}
 		}
 	}
@@ -270,16 +414,24 @@ func (c *Catalog) plan(inputs []string, to Site, detail bool) StagePlan {
 
 // addLeg folds one remote fetch into its source grid's leg, keeping the
 // legs sorted by source grid so the contended stage-in walks channels in
-// an order independent of input declaration order.
-func (p *StagePlan) addLeg(fromGrid string, sizeMB float64, cost time.Duration) {
-	i := sort.Search(len(p.Remote), func(i int) bool { return p.Remote[i].FromGrid >= fromGrid })
-	if i < len(p.Remote) && p.Remote[i].FromGrid == fromGrid {
-		p.Remote[i].SizeMB += sizeMB
-		p.Remote[i].Files++
-		p.Remote[i].Time += cost
+// an order independent of input declaration order, and recording the
+// replica's site in the leg's liveness set.
+func (p *StagePlan) addLeg(from Site, sizeMB float64, cost time.Duration) {
+	i := sort.Search(len(p.Remote), func(i int) bool { return p.Remote[i].FromGrid >= from.Grid })
+	if i < len(p.Remote) && p.Remote[i].FromGrid == from.Grid {
+		l := &p.Remote[i]
+		l.SizeMB += sizeMB
+		l.Files++
+		l.Time += cost
+		for _, s := range l.Sites {
+			if s == from {
+				return
+			}
+		}
+		l.Sites = append(l.Sites, from)
 		return
 	}
 	p.Remote = append(p.Remote, RemoteLeg{})
 	copy(p.Remote[i+1:], p.Remote[i:])
-	p.Remote[i] = RemoteLeg{FromGrid: fromGrid, SizeMB: sizeMB, Files: 1, Time: cost}
+	p.Remote[i] = RemoteLeg{FromGrid: from.Grid, SizeMB: sizeMB, Files: 1, Time: cost, Sites: []Site{from}}
 }

@@ -28,6 +28,10 @@ type cluster struct {
 	remoteMB      float64
 	remoteFetches uint64
 	wanWait       time.Duration
+	// restages counts re-staging rounds: stage-in retries forced by a
+	// replica source dark at leg start or dying mid-fetch (each round
+	// re-plans against the surviving replicas after sim-time backoff).
+	restages uint64
 }
 
 func newCluster(g *Grid, cfg ClusterConfig, rnd *rng.Source) *cluster {
@@ -81,7 +85,7 @@ func (c *cluster) fetchEstimate(inputs []string) float64 {
 		return 0
 	}
 	p := c.g.catalog.Plan(inputs, c.site)
-	if p.Missing != "" {
+	if p.Missing != "" || p.Unavailable != "" {
 		return 0
 	}
 	return p.RemoteTime.Seconds()
@@ -126,13 +130,27 @@ func (c *cluster) stageIn(rec *JobRecord, finished func(failed bool)) {
 		c.release(rec, true, finished)
 		return
 	}
-	fab := c.g.catalog.Fabric()
-	var plan StagePlan
-	if fab != nil {
-		plan = c.g.catalog.PlanDetailed(rec.Spec.Inputs, c.site)
-	} else {
-		plan = c.g.catalog.Plan(rec.Spec.Inputs, c.site)
+	c.stageAttempt(rec, 0, finished)
+}
+
+// stageAttempt runs one re-staging round: re-plan against the replicas
+// live right now, then fetch. tries counts the rounds already failed by
+// this attempt; a retryable storage failure (source dark at leg start,
+// source dying mid-fetch, or no live replica of an input at all) hands
+// off to stageRetry, which backs off in sim time and re-plans, up to
+// Config.StageRetries rounds.
+func (c *cluster) stageAttempt(rec *JobRecord, tries int, finished func(failed bool)) {
+	cat := c.g.catalog
+	if len(rec.Spec.Inputs) > 0 && cat.SiteDark(c.site) {
+		// The close SE every input must land on is dark: nothing can be
+		// staged here. Fail the attempt plainly (no terminal error) —
+		// resubmission redraws the cluster, and a federation can move the
+		// job off a storage-dark grid entirely.
+		c.fgFailed++
+		c.release(rec, true, finished)
+		return
 	}
+	plan := cat.stagePlan(rec.Spec.Inputs, c.site)
 	if plan.Missing != "" {
 		// A stage-in failure is a failed attempt like any other and
 		// must show up in the per-cluster failure accounting.
@@ -141,11 +159,19 @@ func (c *cluster) stageIn(rec *JobRecord, finished func(failed bool)) {
 		c.release(rec, true, finished)
 		return
 	}
+	if plan.Unavailable != "" {
+		// Registered but no live replica anywhere: transient by default
+		// (an SE outage may end), terminal ErrReplicaLost if it persists
+		// through the whole retry budget.
+		c.stageRetry(rec, tries, plan.Unavailable, finished)
+		return
+	}
 	rec.LocalInMB, rec.RemoteInMB = plan.LocalMB, plan.RemoteMB
 	rec.RemoteFetch = plan.RemoteTime
 	// Like the fields above, WANFetch and WANWait describe the last
-	// attempt only: a resubmitted job starts its wait accounting over,
-	// so the observed/nominal stretch telemetry compares like with like.
+	// round of the last attempt only: a re-staged or resubmitted job
+	// starts its wait accounting over, so the observed/nominal stretch
+	// telemetry compares like with like.
 	rec.WANFetch, rec.WANWait = 0, 0
 	local := func() {
 		c.transfer(plan.LocalMB, plan.LocalFiles, func() {
@@ -159,7 +185,11 @@ func (c *cluster) stageIn(rec *JobRecord, finished func(failed bool)) {
 	}
 	c.remoteMB += plan.RemoteMB
 	c.remoteFetches += uint64(plan.RemoteFiles)
-	if fab == nil {
+	fab := cat.Fabric()
+	if fab == nil && !cat.storageActive() {
+		// Location-aware but storage-passive configuration: the whole
+		// remote class stays one pure delay — the exact event the
+		// pre-storage model scheduled, which the goldens pin.
 		c.g.Eng.Schedule(plan.RemoteTime, local)
 		return
 	}
@@ -171,7 +201,10 @@ func (c *cluster) stageIn(rec *JobRecord, finished func(failed bool)) {
 	// not WAN traffic: they keep the pure-delay cost, so intra-grid
 	// congestion never occupies the WAN channels or inflates the
 	// observed/nominal stretch the broker applies to cross-grid
-	// estimates.
+	// estimates. Each leg checks its source sites' liveness twice — at
+	// leg start (a source that went dark since planning serves nothing)
+	// and at leg completion (a source dying mid-fetch truncates the
+	// transfer) — and either failure re-stages from the survivors.
 	leg := 0
 	var next func()
 	next = func() {
@@ -181,18 +214,61 @@ func (c *cluster) stageIn(rec *JobRecord, finished func(failed bool)) {
 		}
 		l := plan.Remote[leg]
 		leg++
-		if l.FromGrid == c.site.Grid {
-			c.g.Eng.Schedule(l.Time, next)
+		if cat.legDark(l) {
+			c.stageRetry(rec, tries, "", finished)
+			return
+		}
+		after := func() {
+			if cat.legDark(l) {
+				c.stageRetry(rec, tries, "", finished)
+				return
+			}
+			next()
+		}
+		if fab == nil || l.FromGrid == c.site.Grid {
+			c.g.Eng.Schedule(l.Time, after)
 			return
 		}
 		rec.WANFetch += l.Time
 		fab.Channel(l.FromGrid, c.site.Grid).UseWait(l.Time, func(waited sim.Time) {
 			rec.WANWait += time.Duration(waited)
 			c.wanWait += time.Duration(waited)
-			next()
+			after()
 		})
 	}
 	next()
+}
+
+// stageRetry handles a retryable storage failure of round tries: back off
+// in sim time (Config.StageRetryBackoff doubling per round, the node held
+// throughout like a real wrapper's retry loop) and re-plan, or — once the
+// Config.StageRetries budget is spent — fail the attempt. file names the
+// input that had no live replica at planning time; when the exhausted
+// failure is such a planning failure the attempt fails terminally with
+// ErrReplicaLost (every copy stayed unreachable through the whole
+// budget), while a leg-level failure exhausting the budget stays a plain
+// attempt failure: the job re-plans on resubmission, where surviving
+// replicas may serve it.
+func (c *cluster) stageRetry(rec *JobRecord, tries int, file string, finished func(failed bool)) {
+	if tries >= c.g.stageRetries() {
+		c.fgFailed++
+		if file != "" {
+			rec.Err = &FileError{Job: rec.Spec.Name, File: file, Err: ErrReplicaLost}
+		}
+		c.release(rec, true, finished)
+		return
+	}
+	c.restages++
+	rec.Restages++
+	backoff := c.g.stageBackoff() << uint(tries)
+	c.g.Eng.Schedule(backoff, func() {
+		if c.g.down {
+			c.fgFailed++
+			c.release(rec, true, finished)
+			return
+		}
+		c.stageAttempt(rec, tries+1, finished)
+	})
 }
 
 func (c *cluster) compute(rec *JobRecord, finished func(failed bool)) {
@@ -236,12 +312,14 @@ func (c *cluster) transfer(totalMB float64, nFiles int, done func()) {
 
 func (c *cluster) release(rec *JobRecord, failed bool, finished func(bool)) {
 	c.nodes.Release()
-	if !failed && c.g.down {
-		// The attempt finished its work but the grid went dark:
-		// settlement will turn it into a terminal ErrGridDown failure,
-		// which must show in this cluster's failure accounting like any
-		// other failed attempt (failure paths already counted themselves
-		// at their source).
+	if !failed && (c.g.down ||
+		(len(rec.Spec.Outputs) > 0 && c.g.catalog.SiteDark(c.site))) {
+		// The attempt finished its work but the grid went dark, or the
+		// close SE its outputs must register on did: settlement will turn
+		// it into a failure (terminal ErrGridDown, or a retryable output
+		// registration failure), which must show in this cluster's
+		// failure accounting like any other failed attempt (failure paths
+		// already counted themselves at their source).
 		c.fgFailed++
 	}
 	finished(failed)

@@ -106,6 +106,19 @@ type Config struct {
 	// gate is the plain round-robin it always was. Ignored under
 	// StrictFIFOSubmit.
 	TenantWeights map[string]int
+	// StageRetries bounds the re-staging rounds of one job attempt after
+	// a retryable storage failure (a replica source dark at leg start, a
+	// source dying mid-fetch, or every copy of an input momentarily
+	// unreachable): the attempt re-plans against the surviving replicas
+	// up to this many times, with exponential sim-time backoff, before
+	// the attempt fails — terminally with ErrReplicaLost when the blocker
+	// was an input with no live copy left. Zero means 4.
+	StageRetries int
+	// StageRetryBackoff is the base backoff before the first re-staging
+	// round; round n waits 2^n times it (the worker node is held
+	// throughout, as a real wrapper's retry loop would hold it). Zero
+	// means 30 seconds.
+	StageRetryBackoff time.Duration
 	// DataProximityWeight is the weight of the data-proximity term in the
 	// broker's cluster ranking: each cluster's rank grows by Weight ×
 	// (estimated seconds of non-local input fetching a job would pay
@@ -219,8 +232,11 @@ type Grid struct {
 
 	// down marks the grid dark (see SetDown): every job attempt fails
 	// with ErrGridDown at its next lifecycle transition while the flag is
-	// set.
-	down bool
+	// set. seDown marks the grid's storage dimension dark (see
+	// SetStorageDown): compute proceeds, but no replica on the grid can
+	// be fetched and no attempt can stage or register outputs here.
+	down   bool
+	seDown bool
 }
 
 // New builds a grid on the engine from the configuration, with its own
@@ -254,6 +270,9 @@ func NewWithCatalog(eng *sim.Engine, cfg Config, cat *Catalog) *Grid {
 		tenants:   make(map[string]*Tenant),
 		subQueues: make(map[string]*submitQueue),
 	}
+	// The catalog needs the engine clock for storage access-recency
+	// accounting; the first grid of a shared-catalog federation binds it.
+	cat.bindClock(eng)
 	for i, cc := range cfg.Clusters {
 		c := newCluster(g, cc, g.rnd.Fork(uint64(i)+100))
 		g.clusters = append(g.clusters, c)
@@ -332,12 +351,43 @@ func (g *Grid) WANWait() time.Duration {
 // virtual time, background load and the other grids of a federation
 // continue. An attempt that crosses no transition during an outage
 // window (e.g. a long compute spanning the whole window) survives it.
-// Recovery simply clears the flag; attempts still in the pipeline
-// proceed normally from their next transition on.
-func (g *Grid) SetDown(down bool) { g.down = down }
+// A dark grid's storage elements are dark with it: its replicas cannot
+// be fetched from anywhere, and fetch legs in flight from it fail at
+// completion (a down grid serves no data — the site power is off, not
+// just the middleware). Recovery simply clears the flag; attempts still
+// in the pipeline proceed normally from their next transition on.
+func (g *Grid) SetDown(down bool) {
+	g.down = down
+	g.pushDark()
+}
 
 // Down reports whether the grid is currently dark.
 func (g *Grid) Down() bool { return g.down }
+
+// SetStorageDown marks the grid's storage dimension dark (down = true)
+// or recovered — an SE-only outage: the middleware stays up (the grid
+// still accepts submissions and its running jobs keep computing), but
+// every replica on the grid is unreachable, no new attempt can stage in
+// here, and completed attempts cannot register their outputs (they fail
+// retryably at settlement). Consumers elsewhere re-stage the stranded
+// inputs from surviving replicas with bounded backoff; inputs whose only
+// copy lived here fail terminally with ErrReplicaLost once retries are
+// exhausted.
+func (g *Grid) SetStorageDown(down bool) {
+	g.seDown = down
+	g.pushDark()
+}
+
+// StorageDown reports whether the grid's storage dimension is dark
+// (true during both SE-only outages and full outages).
+func (g *Grid) StorageDown() bool { return g.seDown || g.down }
+
+// pushDark propagates the grid's effective storage darkness — a full
+// outage darkens the SEs too — into the shared catalog, where planning
+// and the stage-in leg walk consult it.
+func (g *Grid) pushDark() {
+	g.catalog.setGridDark(g.cfg.Name, g.down || g.seDown)
+}
 
 // QueuedJobs returns the number of jobs waiting in batch queues.
 func (g *Grid) QueuedJobs() int {
@@ -407,6 +457,11 @@ type ClusterStat struct {
 	// queued on contended WAN channels before their remote fetch legs
 	// were granted (zero without a fabric).
 	WANWait time.Duration
+	// Restages counts re-staging rounds at this cluster: stage-in
+	// retries forced by a replica source dark at leg start, a source
+	// dying mid-fetch, or an input with no live replica at planning
+	// time (each round re-plans after sim-time backoff).
+	Restages uint64
 }
 
 // ClusterStats returns per-cluster accounting, in configuration order.
@@ -421,9 +476,44 @@ func (g *Grid) ClusterStats() []ClusterStat {
 			RemoteInMB:       c.remoteMB,
 			RemoteFetches:    c.remoteFetches,
 			WANWait:          c.wanWait,
+			Restages:         c.restages,
 		}
 	}
 	return out
+}
+
+// Restages returns the grid's total re-staging rounds (stage-in retries
+// after retryable storage failures), summed across clusters.
+func (g *Grid) Restages() uint64 {
+	var n uint64
+	for _, c := range g.clusters {
+		n += c.restages
+	}
+	return n
+}
+
+// defaultStageRetries and defaultStageRetryBackoff are the zero-value
+// semantics of Config.StageRetries / Config.StageRetryBackoff: four
+// re-staging rounds waiting 30s, 60s, 120s and 240s — a 7.5-minute total
+// window sized to outlast short SE outage blips without holding worker
+// nodes indefinitely.
+const (
+	defaultStageRetries      = 4
+	defaultStageRetryBackoff = 30 * time.Second
+)
+
+func (g *Grid) stageRetries() int {
+	if g.cfg.StageRetries > 0 {
+		return g.cfg.StageRetries
+	}
+	return defaultStageRetries
+}
+
+func (g *Grid) stageBackoff() time.Duration {
+	if g.cfg.StageRetryBackoff > 0 {
+		return g.cfg.StageRetryBackoff
+	}
+	return defaultStageRetryBackoff
 }
 
 // tenantWeight returns the tenant's fair-share weight (1 unless raised by

@@ -76,6 +76,10 @@ type JobRecord struct {
 	Cluster string
 	// Attempts counts submissions including resubmissions after failures.
 	Attempts int
+	// Restages counts re-staging rounds across all attempts: stage-in
+	// retries forced by a replica source that was dark at leg start or
+	// died mid-fetch (bounded per attempt by Config.StageRetries).
+	Restages int
 
 	Submitted sim.Time // Submit called
 	Accepted  sim.Time // UI latency paid, forwarded to broker
@@ -140,6 +144,14 @@ var ErrTooManyFailures = errors.New("grid: job failed after maximum retries")
 // grid cannot resubmit — but a federation re-brokers it elsewhere (the
 // outage is local, unlike a shared-catalog ErrNoSuchFile).
 var ErrGridDown = errors.New("grid: grid is down")
+
+// ErrReplicaLost reports a job input whose every replica went dark (SE
+// outage, grid outage) or was evicted, and stayed unreachable through
+// the whole re-staging budget (Config.StageRetries rounds of backoff).
+// The failure is terminal, and — unlike ErrGridDown — a federation must
+// NOT re-broker it: the replica catalog is shared, so the data is just
+// as lost from every other grid.
+var ErrReplicaLost = errors.New("grid: every replica of an input is lost or unreachable")
 
 // Submit enters a job into the grid under the default (anonymous) tenant.
 // done is invoked exactly once, in virtual time, when the job reaches a
@@ -343,6 +355,14 @@ func (g *Grid) settle(rec *JobRecord, failed bool, done func(*JobRecord)) {
 		rec.Completed = g.Eng.Now()
 		done(rec)
 		return
+	}
+	if !failed && len(rec.Spec.Outputs) > 0 &&
+		g.catalog.SiteDark(Site{Grid: g.cfg.Name, Cluster: rec.Cluster}) {
+		// The close SE that would receive the outputs is dark (SE-only
+		// outage; a full outage was caught above): the attempt's results
+		// cannot be registered. Fail retryably — resubmission re-runs the
+		// job, possibly on a cluster whose storage is up.
+		failed = true
 	}
 	if !failed {
 		rec.Status = StatusCompleted

@@ -1,0 +1,505 @@
+package grid
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// SEFile describes one file resident on a storage element, as eviction
+// policies see it: identity, size, and the access history the catalog
+// records every time a stage-in actually fetches the file (planning and
+// ranking do not count as accesses).
+type SEFile struct {
+	// Name is the file's GFN.
+	Name string
+	// SizeMB is the resident copy's size.
+	SizeMB float64
+	// LastAccess is the virtual instant the copy was last staged from (or
+	// registered, for a never-read copy).
+	LastAccess sim.Time
+	// Hits counts the stage-ins that fetched this copy.
+	Hits uint64
+}
+
+// EvictionPolicy orders a storage element's resident files for eviction
+// under capacity pressure. Implementations must be pure functions of the
+// two candidates — eviction runs inside the single-threaded engine and
+// golden tests pin its drain order — and must totally order distinct
+// candidates (use the file name as the final tie-break).
+type EvictionPolicy interface {
+	// Name identifies the policy in reports and CLI tables.
+	Name() string
+	// Before reports whether a should be evicted before b.
+	Before(a, b SEFile) bool
+}
+
+// EvictLRU returns the least-recently-used eviction policy: the candidate
+// with the oldest last access drains first, names breaking ties.
+func EvictLRU() EvictionPolicy { return lruPolicy{} }
+
+type lruPolicy struct{}
+
+// Name identifies the policy.
+func (lruPolicy) Name() string { return "lru" }
+
+// Before implements EvictionPolicy: oldest last access first.
+func (lruPolicy) Before(a, b SEFile) bool {
+	if a.LastAccess != b.LastAccess {
+		return a.LastAccess < b.LastAccess
+	}
+	return a.Name < b.Name
+}
+
+// EvictPopularity returns the popularity-weighted eviction policy: the
+// candidate with the fewest recorded accesses drains first (coldest file
+// loses its slot regardless of recency), last access and then name
+// breaking ties. Under a heavy-tailed access trace it keeps the popular
+// head resident where LRU churns it out during a long scan of the tail.
+func EvictPopularity() EvictionPolicy { return popularityPolicy{} }
+
+type popularityPolicy struct{}
+
+// Name identifies the policy.
+func (popularityPolicy) Name() string { return "popularity" }
+
+// Before implements EvictionPolicy: fewest hits, then oldest access.
+func (popularityPolicy) Before(a, b SEFile) bool {
+	if a.Hits != b.Hits {
+		return a.Hits < b.Hits
+	}
+	if a.LastAccess != b.LastAccess {
+		return a.LastAccess < b.LastAccess
+	}
+	return a.Name < b.Name
+}
+
+// seFile is the per-resident-copy access record of one storage element.
+type seFile struct {
+	sizeMB     float64
+	lastAccess sim.Time
+	hits       uint64
+}
+
+// seState is one site's active storage element: a capacity gauge over the
+// resident replicas, an eviction policy draining it under pressure, and
+// an up/down flag making the site's replicas unreachable while dark.
+type seState struct {
+	site      Site
+	gauge     *sim.Gauge
+	policy    EvictionPolicy
+	down      bool
+	files     map[string]*seFile
+	evictions uint64
+	evictedMB float64
+}
+
+// SEStat summarizes one storage element's state and accounting.
+type SEStat struct {
+	// Site is the element's location.
+	Site Site
+	// CapacityMB is the configured capacity (zero means unlimited).
+	CapacityMB float64
+	// UsedMB is the resident bytes right now.
+	UsedMB float64
+	// PeakMB is the highest residency observed.
+	PeakMB float64
+	// Files counts the resident replicas.
+	Files int
+	// Evictions counts replicas drained under capacity pressure.
+	Evictions uint64
+	// EvictedMB totals the bytes those evictions freed.
+	EvictedMB float64
+	// Down reports whether the element is currently dark.
+	Down bool
+}
+
+// ConfigureSE gives the site an active storage element with the given
+// capacity in MB (non-positive means unlimited) and eviction policy (nil
+// means EvictLRU). Replicas already resident at the site are adopted into
+// the element's accounting. Configuring the unplaced (zero) site panics:
+// an unplaced replica is local everywhere and can neither fill nor lose a
+// storage element. Reconfiguring an existing element replaces capacity
+// and policy but keeps residency, access history and the down flag.
+func (c *Catalog) ConfigureSE(site Site, capacityMB float64, policy EvictionPolicy) {
+	if site.IsZero() {
+		panic("grid: ConfigureSE on the unplaced site")
+	}
+	if policy == nil {
+		policy = EvictLRU()
+	}
+	if c.storage == nil {
+		c.storage = make(map[string]*seState)
+	}
+	key := site.key()
+	se, ok := c.storage[key]
+	if !ok {
+		se = &seState{site: site, files: make(map[string]*seFile)}
+		c.storage[key] = se
+		// Adopt replicas already pinned at the site, in lexical name order
+		// so the gauge's floating-point accumulation is deterministic.
+		for _, name := range c.Names() {
+			e := c.files[name]
+			for _, r := range e.reps {
+				if r.Site == site {
+					se.files[name] = &seFile{sizeMB: e.sizeMB, lastAccess: c.clock()}
+				}
+			}
+		}
+	}
+	se.policy = policy
+	gauge := sim.NewGauge(capacityMB)
+	for _, name := range sortedKeys(se.files) {
+		gauge.Add(se.files[name].sizeMB)
+	}
+	se.gauge = gauge
+}
+
+// SetSEDown marks the site's storage element dark (down = true) or
+// recovered. A dark element's replicas are skipped by stage planning,
+// in-flight fetch legs sourced from it fail retryably, and a consuming
+// cluster whose own close SE is dark cannot stage at all. A site never
+// configured with ConfigureSE gets an unlimited element implicitly, so
+// any placed site can be taken dark. Taking an element dark triggers the
+// repair hook for every file the darkness drops below the replica floor.
+func (c *Catalog) SetSEDown(site Site, down bool) {
+	if site.IsZero() {
+		panic("grid: SetSEDown on the unplaced site")
+	}
+	se := c.storage[site.key()]
+	if se == nil {
+		c.ConfigureSE(site, 0, nil)
+		se = c.storage[site.key()]
+	}
+	if se.down == down {
+		return
+	}
+	se.down = down
+	if down {
+		c.darkSEs++
+		c.scanBelowFloor()
+	} else {
+		c.darkSEs--
+	}
+}
+
+// SEDown reports whether the site's storage element is dark (false for
+// sites without an element).
+func (c *Catalog) SEDown(site Site) bool {
+	se := c.storage[site.key()]
+	return se != nil && se.down
+}
+
+// setGridDark marks every storage element of the named grid dark (the
+// grid itself went down, or its storage did — Grid.SetDown and
+// Grid.SetStorageDown both push through here, which is what makes a
+// compute-dark grid's replicas unfetchable). Darkening triggers the
+// repair hook for files dropped below the replica floor.
+func (c *Catalog) setGridDark(name string, dark bool) {
+	if c.gridDark[name] == dark {
+		return
+	}
+	if c.gridDark == nil {
+		c.gridDark = make(map[string]bool)
+	}
+	c.gridDark[name] = dark
+	if dark {
+		c.darkGrids++
+		c.scanBelowFloor()
+	} else {
+		c.darkGrids--
+	}
+}
+
+// SiteDark reports whether the site's storage is currently unreachable:
+// its grid is dark (a compute or storage outage of the whole grid) or its
+// own storage element is down. The unplaced site is never dark.
+func (c *Catalog) SiteDark(s Site) bool {
+	if s.IsZero() {
+		return false
+	}
+	if c.darkGrids > 0 && c.gridDark[s.Grid] {
+		return true
+	}
+	if c.darkSEs > 0 {
+		if se := c.storage[s.key()]; se != nil && se.down {
+			return true
+		}
+	}
+	return false
+}
+
+// anyDark reports whether any storage is currently dark — the gate that
+// keeps replica liveness checks free on the location-blind hot paths.
+func (c *Catalog) anyDark() bool { return c.darkGrids > 0 || c.darkSEs > 0 }
+
+// storageActive reports whether any storage feature is in play — a
+// configured element or a dark grid. While false, stage-in keeps the
+// exact pre-storage event structure (the goldens' bit-identity
+// guarantee); while true, remote fetches walk their legs individually so
+// each leg can fail against a dead source.
+func (c *Catalog) storageActive() bool { return len(c.storage) > 0 || c.anyDark() }
+
+// SetReplicaFloor sets the replication floor k: eviction never drains a
+// replica of a file with k or fewer copies, and the repair hook (if set)
+// fires whenever a file's live copies drop below k. Zero or one means no
+// floor beyond the implicit last-copy protection.
+func (c *Catalog) SetReplicaFloor(k int) {
+	if k < 0 {
+		k = 0
+	}
+	c.floor = k
+}
+
+// ReplicaFloor returns the configured replication floor.
+func (c *Catalog) ReplicaFloor() int { return c.floor }
+
+// SetRepairHook registers the callback invoked, synchronously and inside
+// the engine's virtual time, whenever a file's live replica count drops
+// below the replica floor: on registration (a fresh single-copy file under
+// a k≥2 floor), on replica removal, and on darkness transitions (every
+// file the outage strands is reported, in lexical name order). The hook
+// must not mutate the catalog re-entrantly beyond AddReplica-style calls;
+// federations use it to schedule k-replication repair transfers.
+func (c *Catalog) SetRepairHook(h func(name string)) { c.repair = h }
+
+// floorOr1 returns the effective eviction floor: at least the last copy
+// is always protected.
+func (c *Catalog) floorOr1() int {
+	if c.floor > 1 {
+		return c.floor
+	}
+	return 1
+}
+
+// clock returns the current virtual time (zero before a grid binds its
+// engine to the catalog).
+func (c *Catalog) clock() sim.Time {
+	if c.now == nil {
+		return 0
+	}
+	return c.now()
+}
+
+// bindClock attaches the engine's clock for access-recency accounting.
+// The first binder wins, so every member grid of a federation (one shared
+// engine) can bind without clobbering.
+func (c *Catalog) bindClock(eng *sim.Engine) {
+	if c.now == nil {
+		c.now = eng.Now
+	}
+}
+
+// checkFloor fires the repair hook when the entry's live replicas fall
+// below the floor. An unplaced replica satisfies any floor: it is local
+// everywhere and can never go dark, so there is nothing to repair.
+func (c *Catalog) checkFloor(name string, e *catEntry) {
+	if c.repair == nil || c.floor <= 1 {
+		return
+	}
+	if !c.belowFloor(e) {
+		return
+	}
+	c.repair(name)
+}
+
+// belowFloor reports whether the entry's live replica set is below the
+// replication floor (never true for entries with an unplaced replica).
+func (c *Catalog) belowFloor(e *catEntry) bool {
+	live := 0
+	for _, r := range e.reps {
+		if r.Site.IsZero() {
+			return false
+		}
+		if !c.SiteDark(r.Site) {
+			live++
+		}
+	}
+	return live < c.floor
+}
+
+// scanBelowFloor reports every file below the replication floor to the
+// repair hook, in lexical name order — the darkness-transition sweep.
+func (c *Catalog) scanBelowFloor() {
+	if c.repair == nil || c.floor <= 1 {
+		return
+	}
+	for _, name := range c.Names() {
+		if c.belowFloor(c.files[name]) {
+			c.repair(name)
+		}
+	}
+}
+
+// addResident folds a newly-placed replica into its site's storage
+// element (no-op for sites without one), evicting under capacity pressure
+// first so the incoming file has room.
+func (c *Catalog) addResident(name string, sizeMB float64, site Site) {
+	if len(c.storage) == 0 || site.IsZero() {
+		return
+	}
+	se := c.storage[site.key()]
+	if se == nil {
+		return
+	}
+	if _, ok := se.files[name]; ok {
+		return
+	}
+	c.ensureRoom(se, name, sizeMB)
+	se.files[name] = &seFile{sizeMB: sizeMB, lastAccess: c.clock()}
+	se.gauge.Add(sizeMB)
+}
+
+// removeResident drops a replica from its site's storage element
+// accounting (no-op for sites without one).
+func (c *Catalog) removeResident(name string, site Site) {
+	if len(c.storage) == 0 || site.IsZero() {
+		return
+	}
+	se := c.storage[site.key()]
+	if se == nil {
+		return
+	}
+	f, ok := se.files[name]
+	if !ok {
+		return
+	}
+	delete(se.files, name)
+	se.gauge.Remove(f.sizeMB)
+}
+
+// ensureRoom evicts resident replicas until the incoming file fits,
+// draining in the element's policy order. The incoming file itself and
+// any file at or below the replication floor are never victims; when
+// nothing is evictable the element overflows (capacity is soft — the real
+// SE would reject the write, but failing a stage-out over an accounting
+// limit would deadlock repair, so overflow plus the gauge's peak record
+// is the honest model).
+func (c *Catalog) ensureRoom(se *seState, incoming string, sizeMB float64) {
+	if se.gauge.Unlimited() {
+		return
+	}
+	for se.gauge.Over(sizeMB) {
+		victim := c.pickVictim(se, incoming)
+		if victim == "" {
+			return
+		}
+		c.evictReplica(se, victim)
+	}
+}
+
+// pickVictim returns the policy-first evictable resident (empty when
+// nothing is evictable). Candidates are scanned in lexical name order and
+// compared under the element's policy, so the choice is deterministic
+// regardless of map iteration order.
+func (c *Catalog) pickVictim(se *seState, incoming string) string {
+	floor := c.floorOr1()
+	var best string
+	var bestFile SEFile
+	for _, name := range sortedKeys(se.files) {
+		if name == incoming {
+			continue
+		}
+		e := c.files[name]
+		if e == nil || len(e.reps) <= floor {
+			continue
+		}
+		f := se.files[name]
+		cand := SEFile{Name: name, SizeMB: f.sizeMB, LastAccess: f.lastAccess, Hits: f.hits}
+		if best == "" || se.policy.Before(cand, bestFile) {
+			best, bestFile = name, cand
+		}
+	}
+	return best
+}
+
+// evictReplica drains one resident replica from the element: the replica
+// set loses the copy, the gauge frees its bytes, and the eviction
+// counters grow. The floor guard in pickVictim guarantees the file keeps
+// enough copies, so eviction never fires the repair hook.
+func (c *Catalog) evictReplica(se *seState, name string) {
+	f := se.files[name]
+	se.evictions++
+	se.evictedMB += f.sizeMB
+	delete(se.files, name)
+	se.gauge.Remove(f.sizeMB)
+	c.dropReplica(name, se.site)
+}
+
+// touch records an actual stage-in access of the replica on its site's
+// element (planning calls never touch — only fetches count).
+func (c *Catalog) touch(name string, rep Replica) {
+	if len(c.storage) == 0 || rep.Site.IsZero() {
+		return
+	}
+	se := c.storage[rep.Site.key()]
+	if se == nil {
+		return
+	}
+	if f, ok := se.files[name]; ok {
+		f.lastAccess = c.clock()
+		f.hits++
+	}
+}
+
+// legDark reports whether any source site contributing to the stage leg
+// is currently dark — the liveness check the stage-in walk applies at leg
+// start and leg completion, so a source dying mid-fetch fails the leg.
+func (c *Catalog) legDark(l RemoteLeg) bool {
+	if !c.anyDark() {
+		return false
+	}
+	for _, s := range l.Sites {
+		if c.SiteDark(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// LiveReplicas returns the file's currently reachable replicas (dark
+// sites excluded) in deterministic site order — nil for an unregistered
+// name. Repair loops use it to pick a copy source.
+func (c *Catalog) LiveReplicas(name string) []Replica {
+	e, ok := c.files[name]
+	if !ok {
+		return nil
+	}
+	out := make([]Replica, 0, len(e.reps))
+	for _, r := range e.reps {
+		if !c.SiteDark(r.Site) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// SEStats returns per-element statistics for every configured storage
+// element, in deterministic site order.
+func (c *Catalog) SEStats() []SEStat {
+	out := make([]SEStat, 0, len(c.storage))
+	for _, key := range sortedKeys(c.storage) {
+		se := c.storage[key]
+		out = append(out, SEStat{
+			Site:       se.site,
+			CapacityMB: se.gauge.Capacity(),
+			UsedMB:     se.gauge.Level(),
+			PeakMB:     se.gauge.Peak(),
+			Files:      len(se.files),
+			Evictions:  se.evictions,
+			EvictedMB:  se.evictedMB,
+			Down:       se.down,
+		})
+	}
+	return out
+}
+
+// sortedKeys returns the map's keys in lexical order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

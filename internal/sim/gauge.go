@@ -1,0 +1,65 @@
+package sim
+
+// Gauge is a continuously-valued occupancy accumulator with an optional
+// capacity: the accounting primitive of capacity-limited stores (a storage
+// element's resident megabytes) the way Resource is the primitive of
+// slot-limited servers. Unlike Resource it never blocks or queues — a
+// gauge only measures; admission control (evict, overflow, reject) is the
+// caller's policy. A zero or negative capacity means unlimited.
+type Gauge struct {
+	capacity float64
+	level    float64
+	peak     float64
+}
+
+// NewGauge returns a gauge with the given capacity (non-positive means
+// unlimited) at level zero.
+func NewGauge(capacity float64) *Gauge {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Gauge{capacity: capacity}
+}
+
+// Capacity returns the configured capacity (zero when unlimited).
+func (g *Gauge) Capacity() float64 { return g.capacity }
+
+// Unlimited reports whether the gauge has no capacity bound.
+func (g *Gauge) Unlimited() bool { return g.capacity <= 0 }
+
+// Level returns the current occupancy.
+func (g *Gauge) Level() float64 { return g.level }
+
+// Peak returns the highest occupancy observed so far.
+func (g *Gauge) Peak() float64 { return g.peak }
+
+// Add raises the level by v (negative v panics: use Remove). Adds past
+// the capacity are legal — the gauge records the overflow and the caller
+// decides how to drain it.
+func (g *Gauge) Add(v float64) {
+	if v < 0 {
+		panic("sim: Gauge.Add with negative value")
+	}
+	g.level += v
+	if g.level > g.peak {
+		g.peak = g.level
+	}
+}
+
+// Remove lowers the level by v, clamping at zero (floating-point dust
+// from repeated add/remove cycles must not drive the level negative).
+func (g *Gauge) Remove(v float64) {
+	if v < 0 {
+		panic("sim: Gauge.Remove with negative value")
+	}
+	g.level -= v
+	if g.level < 0 {
+		g.level = 0
+	}
+}
+
+// Over reports whether admitting v more would exceed the capacity (always
+// false on an unlimited gauge).
+func (g *Gauge) Over(v float64) bool {
+	return g.capacity > 0 && g.level+v > g.capacity
+}

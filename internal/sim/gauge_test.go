@@ -1,0 +1,42 @@
+package sim
+
+import "testing"
+
+func TestGaugeAccounting(t *testing.T) {
+	g := NewGauge(100)
+	if g.Capacity() != 100 || g.Unlimited() {
+		t.Fatal("capacity 100 reported unlimited")
+	}
+	g.Add(60)
+	g.Add(70) // overflow is legal: a gauge never blocks
+	if g.Level() != 130 || g.Peak() != 130 {
+		t.Fatalf("level/peak = %v/%v, want 130/130", g.Level(), g.Peak())
+	}
+	if !g.Over(g.Capacity()) {
+		t.Fatal("130 over 100 not reported over capacity")
+	}
+	g.Remove(80)
+	if g.Level() != 50 || g.Peak() != 130 {
+		t.Fatalf("level/peak after remove = %v/%v, want 50/130 (peak sticks)", g.Level(), g.Peak())
+	}
+	g.Remove(1000)
+	if g.Level() != 0 {
+		t.Fatalf("level clamps at zero, got %v", g.Level())
+	}
+
+	u := NewGauge(0)
+	if !u.Unlimited() {
+		t.Fatal("zero capacity is the unlimited gauge")
+	}
+	u.Add(1e9)
+	if u.Over(u.Capacity()) {
+		t.Fatal("an unlimited gauge is never over capacity")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	g.Add(-1)
+}

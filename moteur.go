@@ -245,6 +245,11 @@ var (
 	// FederationPinned sends everything to one grid (the single-grid
 	// baseline federated scenarios are compared against).
 	FederationPinned = federation.Pinned
+	// FederationRankedSafe is the ranked policy with storage safety
+	// priced in: storage-dark members pay a flat penalty and picks whose
+	// stage-in would gamble on a last live replica over a non-local link
+	// pay their fragile fetch time.
+	FederationRankedSafe = federation.RankedSafe
 )
 
 // Data locality: the replica catalog pins files to sites and a link model
@@ -286,6 +291,32 @@ var (
 	// NewWANFabric builds a contended WAN fabric with the given default
 	// per-pair stream count on the engine.
 	NewWANFabric = grid.NewFabric
+)
+
+// Active storage elements: capacity, eviction, SE outages and replica
+// repair (see internal/grid's storage file and DESIGN.md).
+type (
+	// StorageEvictionPolicy totally orders a storage element's resident
+	// replicas by eviction preference.
+	StorageEvictionPolicy = grid.EvictionPolicy
+	// StorageFile is the per-replica residency view an eviction policy
+	// ranks: size, last access and stage-in hit count.
+	StorageFile = grid.SEFile
+	// StorageElementStat is one storage element's telemetry: capacity,
+	// residency, peak and eviction totals.
+	StorageElementStat = grid.SEStat
+)
+
+// Storage eviction policies and failure sentinels.
+var (
+	// EvictLRU drains the longest-unaccessed replica first.
+	EvictLRU = grid.EvictLRU
+	// EvictPopularity drains the least-fetched replica first.
+	EvictPopularity = grid.EvictPopularity
+	// ErrReplicaLost marks a job whose input lost every live replica:
+	// terminal, and never re-brokered (the catalog is shared, so the
+	// data is equally lost from every member grid).
+	ErrReplicaLost = grid.ErrReplicaLost
 )
 
 // Data identity.
