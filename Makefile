@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test vet bench campaign-bench federation-bench locality-bench wan-bench storage-bench clean help
+.PHONY: all build test vet lint bench campaign-bench federation-bench locality-bench wan-bench storage-bench clean help
 
-all: vet build test
+all: vet lint build test
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,17 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Determinism lint: build cmd/moteurvet (maprange, simtime, exporteddoc)
+# and run it over every package through go vet's vettool protocol, so
+# results are cached per package like any other vet check. gofmt rides
+# along: the gate fails if any file needs reformatting.
+lint:
+	$(GO) build -o bin/moteurvet ./cmd/moteurvet
+	$(GO) vet -vettool=$(abspath bin/moteurvet) ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt: the following files need reformatting:"; echo "$$out"; exit 1; \
+	fi
 
 # Full benchmark suite (paper tables, ablations, enactor scaling) with
 # allocation stats; the raw output is kept for cross-change comparison.
@@ -55,13 +66,15 @@ storage-bench:
 
 clean:
 	rm -f BENCH_1.json BENCH_2.json BENCH_3.json BENCH_4.json BENCH_5.json BENCH_6.json
+	rm -rf bin
 
 help:
 	@echo "Targets:"
-	@echo "  all              vet + build + test"
+	@echo "  all              vet + lint + build + test"
 	@echo "  build            go build ./..."
 	@echo "  test             go test ./...   (tier-1 verify)"
 	@echo "  vet              go vet ./..."
+	@echo "  lint             determinism lint (cmd/moteurvet as vettool) + gofmt -l"
 	@echo "  bench            full paper suite                      -> BENCH_1.json"
 	@echo "  campaign-bench   32-tenant shared-grid campaign        -> BENCH_2.json"
 	@echo "  federation-bench 4 grids x 16 tenants, ranked broker   -> BENCH_3.json"

@@ -1,0 +1,87 @@
+// Command moteurvet runs the repo's determinism-lint suite: maprange
+// (no ranging over maps in simulation-critical packages), simtime (no
+// wall-clock time or math/rand there either), and exporteddoc (the
+// exported surface of the root and internal/ packages is documented).
+//
+// It is both a standalone checker and a go vet tool:
+//
+//	moteurvet ./...                        # standalone, loads via go list
+//	go vet -vettool=$(pwd)/bin/moteurvet ./...   # build-integrated, cached
+//
+// In vettool mode it speaks cmd/go's vet protocol: -V=full identifies
+// the binary for build caching (the version string embeds a hash of the
+// executable, so rebuilding the tool invalidates stale vet results),
+// -flags describes the tool's flags (none), and a trailing *.cfg
+// argument names a compilation-unit config to check.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/exporteddoc"
+	"repro/internal/analysis/golist"
+	"repro/internal/analysis/maprange"
+	"repro/internal/analysis/simtime"
+	"repro/internal/analysis/unitchecker"
+)
+
+// suite is the full determinism-lint suite, in diagnostic-prefix order.
+var suite = []*analysis.Analyzer{
+	exporteddoc.Analyzer,
+	maprange.Analyzer,
+	simtime.Analyzer,
+}
+
+func main() {
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && args[0] == "-V=full":
+		fmt.Printf("moteurvet version %s\n", selfID())
+		return
+	case len(args) == 1 && args[0] == "-flags":
+		fmt.Println("[]")
+		return
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		os.Exit(unitchecker.Run(args[0], suite))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	findings, err := golist.Check(args, suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "moteurvet: %v\n", err)
+		os.Exit(1)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "moteurvet: %d finding(s)\n", len(findings))
+		os.Exit(2)
+	}
+}
+
+// selfID returns a content hash of the running executable, so cmd/go's
+// vet result cache is keyed to the exact tool build; it must not be the
+// literal "devel", which cmd/go treats specially.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "v0-unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "v0-unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "v0-unknown"
+	}
+	return fmt.Sprintf("v0-%x", h.Sum(nil)[:8])
+}

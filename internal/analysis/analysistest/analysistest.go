@@ -1,0 +1,149 @@
+// Package analysistest is a small fixture harness for the determinism-
+// lint analyzers, modeled on golang.org/x/tools/go/analysis/analysistest
+// but built on the standard library alone. A fixture is an ordinary Go
+// package under testdata/src/<path>; expected findings are declared in
+// the fixture source with trailing comments of the form
+//
+//	for k := range m { // want `range over map`
+//
+// where the backquoted text is a regular expression matched against the
+// diagnostics reported on that line. Multiple `// want` clauses may be
+// separated by whitespace inside one comment. The harness type-checks
+// the fixture with the source importer (GOROOT source, so the standard
+// library resolves offline), runs the analyzer, and fails the test on
+// any unexpected or missing finding.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/checker"
+)
+
+// wantRE extracts the backquoted patterns of a // want comment.
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+// expectation is one // want clause bound to a file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads the fixture package rooted at dir/src/<pkgpath> for each
+// pkgpath, runs a over it, and checks reported findings against the
+// fixture's // want comments. The fixture's import path is pkgpath
+// itself, so analyzers gated on package paths can be constructed to
+// admit it.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	for _, pkgpath := range pkgpaths {
+		runOne(t, filepath.Join(dir, "src", pkgpath), pkgpath, a)
+	}
+}
+
+// runOne checks one fixture package directory.
+func runOne(t *testing.T, dir, pkgpath string, a *analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("%s: %v", dir, err)
+	}
+	var files []*ast.File
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		files = append(files, f)
+		wants = append(wants, parseWants(t, fset, f)...)
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture %s has no Go files", dir)
+	}
+	imp := importer.ForCompiler(fset, "source", nil)
+	pkg, info, err := checker.TypeCheck(fset, files, pkgpath, imp, "")
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", pkgpath, err)
+	}
+	findings, err := checker.Run(fset, files, pkg, info, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, pkgpath, err)
+	}
+	for _, f := range findings {
+		if !claim(wants, f) {
+			t.Errorf("%s: unexpected finding: %s", pkgpath, f)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s: %s:%d: expected finding matching %q, got none", pkgpath, w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants collects the // want expectations of one fixture file.
+func parseWants(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			// The marker may open the comment or be embedded in one (a
+			// //moteur: directive line can only carry its expectation
+			// inside the directive comment itself).
+			idx := strings.Index(c.Text, "// want `")
+			if idx < 0 {
+				continue
+			}
+			text := c.Text[idx+len("// want"):]
+			pos := fset.Position(c.Pos())
+			matches := wantRE.FindAllStringSubmatch(text, -1)
+			if len(matches) == 0 {
+				t.Fatalf("%s: // want comment without backquoted pattern", pos)
+			}
+			for _, m := range matches {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", pos, m[1], err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return out
+}
+
+// claim marks the first unhit expectation matching the finding and
+// reports whether one existed.
+func claim(wants []*expectation, f checker.Finding) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == f.Position.Filename && w.line == f.Position.Line && w.re.MatchString(f.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}

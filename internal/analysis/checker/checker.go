@@ -1,0 +1,103 @@
+// Package checker is the execution core shared by every driver of the
+// determinism-lint suite (cmd/moteurvet standalone mode, its go vet
+// -vettool protocol mode, and the analysistest fixture harness): it
+// type-checks one package's parsed files and runs a list of analyzers
+// over the result, returning position-sorted findings so driver output
+// is deterministic regardless of analyzer-internal iteration order.
+package checker
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// Finding is one diagnostic resolved to a concrete file position and
+// tagged with the analyzer that produced it.
+type Finding struct {
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Position locates the finding in the analyzed sources.
+	Position token.Position
+	// Message is the diagnostic text.
+	Message string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Position, f.Message, f.Analyzer)
+}
+
+// TypeCheck type-checks files as package path, resolving imports through
+// imp, and returns the package with a fully populated types.Info. Type
+// errors are returned after checking as much as possible, so callers can
+// decide whether to proceed (go vet's SucceedOnTypecheckFailure hack).
+func TypeCheck(fset *token.FileSet, files []*ast.File, path string, imp types.Importer, goVersion string) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	var firstErr error
+	cfg := &types.Config{
+		Importer:  imp,
+		GoVersion: goVersion,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, _ := cfg.Check(path, fset, files, info)
+	return pkg, info, firstErr
+}
+
+// Run applies analyzers to one type-checked package and returns the
+// findings sorted by position then analyzer then message.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			out = append(out, Finding{
+				Analyzer: a.Name,
+				Position: fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path(), err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := out[i].Position, out[j].Position
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		if out[i].Analyzer != out[j].Analyzer {
+			return out[i].Analyzer < out[j].Analyzer
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out, nil
+}

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// OrderInvariantDirective is the comment directive that justifies a range
+// over a map inside a simulation-critical package: the author asserts the
+// loop's observable effect is invariant under iteration order (e.g. a
+// commutative reduction) and must state why after the directive.
+//
+//	//moteur:orderinvariant summing per-grid byte counters is commutative
+//	for g, n := range wanBytes { total += n }
+//
+// The directive binds to the statement on the same line or on the line
+// immediately below it, matching Go's own //go: directive placement.
+const OrderInvariantDirective = "moteur:orderinvariant"
+
+// Directive is one parsed //moteur: comment directive.
+type Directive struct {
+	// Pos is the position of the directive comment.
+	Pos token.Pos
+	// Line is the source line the comment sits on.
+	Line int
+	// Name is the directive name, e.g. "moteur:orderinvariant".
+	Name string
+	// Reason is the free text after the directive name, trimmed. The
+	// maprange analyzer rejects directives with an empty Reason.
+	Reason string
+}
+
+// Directives extracts all //moteur: directives from a file, keyed by
+// nothing — callers index by Line to bind them to statements.
+func Directives(fset *token.FileSet, file *ast.File) []Directive {
+	var out []Directive
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//"+"moteur:")
+			if !ok {
+				continue
+			}
+			name, reason, _ := strings.Cut(text, " ")
+			out = append(out, Directive{
+				Pos:    c.Pos(),
+				Line:   fset.Position(c.Pos()).Line,
+				Name:   "moteur:" + name,
+				Reason: strings.TrimSpace(reason),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+// Package golist implements cmd/moteurvet's standalone mode: it loads
+// packages matching command-line patterns by shelling out to
+// `go list -export -deps -json`, which compiles dependencies' export
+// data into the build cache, then type-checks each matched package from
+// source (dependencies resolve through the export data, exactly like the
+// vettool path) and runs the determinism analyzers over it. This gives a
+// one-command repo check that needs no go vet orchestration and no
+// network access.
+package golist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/checker"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	// ImportPath is the canonical package path.
+	ImportPath string
+	// Dir is the directory holding the package sources.
+	Dir string
+	// GoFiles lists the package's Go sources, relative to Dir, test
+	// files excluded.
+	GoFiles []string
+	// Export is the file holding the package's gc export data.
+	Export string
+	// ImportMap maps source-level import paths to canonical paths.
+	ImportMap map[string]string
+	// DepOnly marks packages that only appeared as dependencies, not
+	// as pattern matches; they supply export data but are not checked.
+	DepOnly bool
+}
+
+// Check loads the packages matching patterns and runs analyzers over
+// each matched (non-dependency) package, returning all findings sorted
+// by package.
+func Check(patterns []string, analyzers []*analysis.Analyzer) ([]checker.Finding, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Export,ImportMap,DepOnly",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	exports := map[string]string{}
+	importMap := map[string]string{}
+	var targets []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		for raw, mapped := range p.ImportMap {
+			importMap[raw] = mapped
+		}
+		if !p.DepOnly && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	var all []checker.Finding
+	for _, p := range targets {
+		findings, err := checkPackage(p, exports, importMap, analyzers)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+		all = append(all, findings...)
+	}
+	return all, nil
+}
+
+// checkPackage parses, type-checks and analyzes one listed package.
+func checkPackage(p *listPackage, exports, importMap map[string]string, analyzers []*analysis.Analyzer) ([]checker.Finding, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	pkg, info, err := checker.TypeCheck(fset, files, p.ImportPath, imp, "")
+	if err != nil {
+		return nil, err
+	}
+	return checker.Run(fset, files, pkg, info, analyzers)
+}

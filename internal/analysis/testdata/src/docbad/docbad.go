@@ -1,0 +1,31 @@
+package docbad // want `package docbad has no package doc comment`
+
+// Documented is properly documented and stays clean.
+type Documented struct{}
+
+type Bare struct{} // want `exported identifier Bare has no doc comment`
+
+// Something that does not start with the name.
+func Wrong() {} // want `doc comment of Wrong should start with "Wrong"`
+
+// A Prefixed doc may lead with an article: A, An or The are skipped
+// before the name check.
+type Prefixed int
+
+// Grouped constants share one block comment, which covers all specs.
+const (
+	GroupedA = iota
+	GroupedB
+)
+
+var Loose int // want `exported identifier Loose has no doc comment`
+
+type hidden struct{}
+
+// Exported-looking methods on unexported receivers are plumbing.
+func (hidden) Visible() {}
+
+// Method is documented; methods on exported receivers are checked.
+func (Documented) Method() {}
+
+func (Documented) Naked() {} // want `exported identifier Naked has no doc comment`

@@ -1,0 +1,18 @@
+// Package docok is the exporteddoc negative fixture: a fully documented
+// surface produces no findings.
+package docok
+
+// Thing is a documented exported type.
+type Thing struct{}
+
+// New returns a Thing.
+func New() Thing { return Thing{} }
+
+// Limit is a documented exported constant.
+const Limit = 8
+
+// Weights groups documented values under one block comment.
+var (
+	WeightA = 1
+	WeightB = 2
+)

@@ -1,0 +1,12 @@
+// Package mapclean is the maprange negative fixture: it is not in the
+// analyzer's critical-package set, so even bare map ranges are ignored.
+package mapclean
+
+// Free ranges over a map without annotation and stays unflagged.
+func Free(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}

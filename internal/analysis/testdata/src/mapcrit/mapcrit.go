@@ -1,0 +1,75 @@
+// Package mapcrit is a maprange fixture standing in for a simulation-
+// critical package: unjustified map ranges, empty justifications and
+// stale annotations are findings; slice/string/channel ranges and
+// properly justified loops are not.
+package mapcrit
+
+import "sort"
+
+// Counters is a named map type; ranging over it is still a map range.
+type Counters map[string]int
+
+// Sum accumulates order-sensitively and order-invariantly.
+func Sum(m map[string]int, c Counters) int {
+	total := 0
+	for _, v := range m { // want `range over map m: iteration order is randomized`
+		total += v
+	}
+	//moteur:orderinvariant integer addition is commutative, no order leak
+	for _, v := range c {
+		total += v
+	}
+	return total
+}
+
+// Keys shows the sanctioned rewrite: sort the keys, range the slice.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want `range over map m`
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for i := range keys { // a slice range is fine
+		_ = i
+	}
+	return keys
+}
+
+// Empty carries a justification with no reason, which is itself a
+// finding, and a stale annotation excusing nothing.
+func Empty(m Counters) {
+	//moteur:orderinvariant
+	for k := range m { // want `needs a non-empty justification`
+		_ = k
+	}
+	//moteur:orderinvariant excuses no loop // want `stale //moteur:orderinvariant`
+	x := 0
+	_ = x
+}
+
+// Generic ranges over a type parameter whose constraint is a map.
+func Generic[M ~map[string]int](m M) int {
+	n := 0
+	for range m { // want `range over map m`
+		n++
+	}
+	return n
+}
+
+// Others ranges over non-map types and stays clean.
+func Others(s []int, str string, ch chan int, n int) int {
+	t := 0
+	for _, v := range s {
+		t += v
+	}
+	for range str {
+		t++
+	}
+	for v := range ch {
+		t += v
+	}
+	for range n {
+		t++
+	}
+	return t
+}

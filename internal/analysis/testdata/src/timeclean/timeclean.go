@@ -1,0 +1,13 @@
+// Package timeclean is the simtime negative fixture: outside the
+// critical set, wall-clock time and math/rand are unrestricted.
+package timeclean
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Wall may read the clock and roll dice freely here.
+func Wall() int64 {
+	return time.Now().UnixNano() + int64(rand.Intn(10))
+}

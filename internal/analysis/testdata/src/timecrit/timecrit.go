@@ -1,0 +1,37 @@
+// Package timecrit is a simtime fixture standing in for a simulation-
+// critical package: wall-clock reads, math/rand imports and fmt output
+// inside map ranges are findings; time.Duration values and pure
+// formatting are not.
+package timecrit
+
+import (
+	"fmt"
+	"math/rand" // want `import of math/rand in a simulation-critical package`
+	"time"
+)
+
+// Tick mixes banned wall-clock calls with a harmless duration value.
+func Tick(d time.Duration) time.Duration {
+	start := time.Now()   // want `call to time.Now`
+	time.Sleep(d)         // want `call to time.Sleep`
+	_ = time.Since(start) // want `call to time.Since`
+	return 2 * d
+}
+
+// Roll uses the banned ambient generator; the import finding already
+// covers it, calls themselves are not re-flagged.
+func Roll() int {
+	return rand.Intn(6)
+}
+
+// Dump prints from inside a map range (finding) and formats into a map
+// slot (clean), then prints outside any loop (clean).
+func Dump(m map[string]int) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt.Println inside a range over a map`
+		out[k] = fmt.Sprintf("%d", v)
+	}
+	fmt.Println(len(out))
+	return out
+}

@@ -1,0 +1,153 @@
+// Package unitchecker implements the `go vet -vettool` side of
+// cmd/moteurvet: the build tool invokes the vettool once per compilation
+// unit with a JSON config file describing the unit's sources and the
+// export data of its direct dependencies, and the tool type-checks the
+// unit, runs the determinism analyzers, and reports diagnostics on
+// stderr with a non-zero exit when it finds anything. It mirrors the
+// protocol of golang.org/x/tools/go/analysis/unitchecker on the standard
+// library alone (go/importer reads the gc export data cmd/go hands us).
+//
+// Facts are not implemented: the suite's analyzers are all local to one
+// package, so the vetx output file the protocol requires is written
+// empty and dependency vetx inputs are ignored.
+package unitchecker
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/checker"
+)
+
+// Config mirrors cmd/go's vetConfig, the JSON payload written next to
+// each compilation unit when vet runs; field names must match exactly.
+type Config struct {
+	// ID is the package ID, e.g. "fmt [fmt.test]".
+	ID string
+	// Compiler is the toolchain name, gc or gccgo.
+	Compiler string
+	// Dir is the package directory.
+	Dir string
+	// ImportPath is the canonical package path.
+	ImportPath string
+	// GoFiles lists the unit's Go sources as absolute paths.
+	GoFiles []string
+	// NonGoFiles lists assembly and other non-Go sources.
+	NonGoFiles []string
+	// IgnoredFiles lists build-constrained-away sources.
+	IgnoredFiles []string
+	// ModulePath is the enclosing module's path, if any.
+	ModulePath string
+	// ModuleVersion is the module version, if any.
+	ModuleVersion string
+	// ImportMap maps import paths as written in source to canonical
+	// package paths.
+	ImportMap map[string]string
+	// PackageFile maps canonical package paths to files holding their
+	// gc export data.
+	PackageFile map[string]string
+	// Standard marks standard-library package paths.
+	Standard map[string]bool
+	// PackageVetx maps dependency package paths to their vetx outputs;
+	// unused here (no facts).
+	PackageVetx map[string]string
+	// VetxOnly asks for facts only, no diagnostics; since the suite has
+	// no facts, such units are satisfied by an empty vetx file.
+	VetxOnly bool
+	// VetxOutput is the file the tool must write its facts to; cmd/go
+	// caches it and fails if it is missing.
+	VetxOutput string
+	// GoVersion is the language version to type-check under.
+	GoVersion string
+	// SucceedOnTypecheckFailure makes type errors exit 0, matching
+	// cmd/vet's historical behavior under `go test` (golang.org/issue/18395).
+	SucceedOnTypecheckFailure bool
+}
+
+// Run processes one vet config file and returns the process exit code:
+// 0 clean, 1 on internal errors, 2 when diagnostics were reported.
+func Run(cfgFile string, analyzers []*analysis.Analyzer) int {
+	cfg, err := readConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "moteurvet: %v\n", err)
+		return 1
+	}
+	// The empty vetx file must exist before any early return: cmd/go
+	// stores it in the build cache unconditionally.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "moteurvet: writing vetx: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly || len(cfg.GoFiles) == 0 {
+		return 0
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "moteurvet: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	pkg, info, err := checker.TypeCheck(fset, files, cfg.ImportPath, imp, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "moteurvet: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	findings, err := checker.Run(fset, files, pkg, info, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "moteurvet: %v\n", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s\n", f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// readConfig loads and decodes one vet config file.
+func readConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	return cfg, nil
+}

@@ -298,7 +298,16 @@ func New(eng *sim.Engine, wf *workflow.Workflow, opts Options) (*Enactor, error)
 			st.downstream = append(st.downstream, e.procs[sn])
 		}
 		if st.p.Synchronization {
+			// Ancestors returns a set; iterate it in sorted order so the
+			// syncAncestors slice is identical across runs even if a
+			// future consumer becomes order-sensitive.
+			ancs := make([]string, 0, len(e.topo.Ancestors(name)))
+			//moteur:orderinvariant keys are sorted immediately after collection
 			for anc := range e.topo.Ancestors(name) {
+				ancs = append(ancs, anc)
+			}
+			sort.Strings(ancs)
+			for _, anc := range ancs {
 				if a := e.procs[anc]; a.p.Synchronization {
 					st.syncAncestors = append(st.syncAncestors, a)
 				}
@@ -479,6 +488,7 @@ func (e *Enactor) finishNotify() {
 
 func countsOf(inputs map[string][]string) map[string]int {
 	out := make(map[string]int, len(inputs))
+	//moteur:orderinvariant map-to-map rebuild keyed by the same keys, no order leak
 	for k, v := range inputs {
 		out[k] = len(v)
 	}
@@ -715,6 +725,7 @@ func (e *Enactor) buildRequest(st *procState, rt readyTuple) (services.Request, 
 			inputItems[i] = item
 		}
 	}
+	//moteur:orderinvariant distinct constant keys write disjoint map slots, no order leak
 	for k, v := range st.p.Constants {
 		req.Inputs[k] = v
 	}
@@ -834,6 +845,7 @@ func (e *Enactor) fireSync(st *procState) {
 		}
 		inputs = append(inputs, items...)
 	}
+	//moteur:orderinvariant distinct constant keys write disjoint map slots, no order leak
 	for k, v := range st.p.Constants {
 		req.Inputs[k] = v
 	}

@@ -108,6 +108,7 @@ func alignmentOK(wf *workflow.Workflow, p, q *workflow.Processor) bool {
 		return false
 	}
 	incoming := wf.Incoming(q.Name)
+	//moteur:orderinvariant pure conjunction over ports, same verdict in any order
 	for port := range fed {
 		for _, l := range incoming[port] {
 			if l.FromProc != p.Name {
@@ -176,6 +177,7 @@ func fuse(wf *workflow.Workflow, pName, qName string) (*workflow.Workflow, error
 	members := append([]services.GroupMember(nil), pMembers...)
 	for _, m := range qMembers {
 		shifted := make(map[string]services.InternalRef, len(m.Internal))
+		//moteur:orderinvariant map-to-map rebuild keyed by the same keys, no order leak
 		for in, ref := range m.Internal {
 			shifted[in] = services.InternalRef{Member: ref.Member + len(pMembers), Port: ref.Port}
 		}
@@ -242,9 +244,11 @@ func fuse(wf *workflow.Workflow, pName, qName string) (*workflow.Workflow, error
 
 	// Merged constants, qualified per owner.
 	constants := make(map[string]string)
+	//moteur:orderinvariant qualified keys write disjoint map slots, no order leak
 	for k, v := range p.Constants {
 		constants[pQual(k)] = v
 	}
+	//moteur:orderinvariant qualified keys write disjoint map slots, no order leak
 	for k, v := range q.Constants {
 		constants[qQual(k)] = v
 	}

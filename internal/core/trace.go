@@ -57,6 +57,7 @@ func (t *Trace) Processors() []string {
 		set[inv.Processor] = true
 	}
 	out := make([]string, 0, len(set))
+	//moteur:orderinvariant keys are sorted immediately after collection
 	for k := range set {
 		out = append(out, k)
 	}
@@ -117,6 +118,7 @@ func (r *Result) Summary() string {
 			name, len(invs), (wait / n).Round(time.Second), (span / n).Round(time.Second))
 	}
 	sinks := make([]string, 0, len(r.Outputs))
+	//moteur:orderinvariant keys are sorted immediately after collection
 	for s := range r.Outputs {
 		sinks = append(sinks, s)
 	}

@@ -231,6 +231,7 @@ func (c *Catalog) Len() int { return len(c.files) }
 // Names returns all registered names in lexical order.
 func (c *Catalog) Names() []string {
 	names := make([]string, 0, len(c.files))
+	//moteur:orderinvariant keys are sorted immediately after collection
 	for n := range c.files {
 		names = append(names, n)
 	}

@@ -97,6 +97,7 @@ type PairStat struct {
 // far, in deterministic (from, to) order.
 func (f *Fabric) PairStats() []PairStat {
 	out := make([]PairStat, 0, len(f.chans))
+	//moteur:orderinvariant stats are sorted by (from, to) immediately after collection
 	for key, ch := range f.chans {
 		out = append(out, PairStat{
 			From:        key.From,

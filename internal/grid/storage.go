@@ -497,6 +497,7 @@ func (c *Catalog) SEStats() []SEStat {
 // sortedKeys returns the map's keys in lexical order.
 func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
+	//moteur:orderinvariant keys are sorted immediately after collection
 	for k := range m {
 		keys = append(keys, k)
 	}

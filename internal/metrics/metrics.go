@@ -32,6 +32,7 @@ func (l Line) Eval(x float64) time.Duration {
 	return time.Duration((l.Intercept + l.Slope*x) * float64(time.Second))
 }
 
+// String renders the fitted line the way the paper's figures caption it.
 func (l Line) String() string {
 	return fmt.Sprintf("y = %.0f s + %.1f s/dataset (R²=%.3f)", l.Intercept, l.Slope, l.R2)
 }

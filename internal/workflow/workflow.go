@@ -82,6 +82,7 @@ type Link struct {
 	ToProc, ToPort     string
 }
 
+// String renders the link as "proc:port -> proc:port".
 func (l Link) String() string {
 	return fmt.Sprintf("%s:%s -> %s:%s", l.FromProc, l.FromPort, l.ToProc, l.ToPort)
 }
