@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint bench campaign-bench federation-bench locality-bench wan-bench storage-bench clean help
+.PHONY: all build test vet lint scenarios bench campaign-bench federation-bench locality-bench wan-bench storage-bench clean help
 
 all: vet lint build test
 
@@ -23,6 +23,14 @@ lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt: the following files need reformatting:"; echo "$$out"; exit 1; \
 	fi
+
+# Scenario library sweep: compile and run every scenarios/*.json and
+# print one results row per scenario (span/p95/WAN-wait/restage). The
+# same specs are pinned by the per-scenario determinism goldens in
+# internal/scenario, so this sweep doubles as the CI smoke of the
+# declarative world compiler.
+scenarios:
+	$(GO) run ./cmd/federation -scenarios 'scenarios/*.json'
 
 # Full benchmark suite (paper tables, ablations, enactor scaling) with
 # allocation stats; the raw output is kept for cross-change comparison.
@@ -75,6 +83,7 @@ help:
 	@echo "  test             go test ./...   (tier-1 verify)"
 	@echo "  vet              go vet ./..."
 	@echo "  lint             determinism lint (cmd/moteurvet as vettool) + gofmt -l"
+	@echo "  scenarios        run the scenarios/*.json library, one results row each"
 	@echo "  bench            full paper suite                      -> BENCH_1.json"
 	@echo "  campaign-bench   32-tenant shared-grid campaign        -> BENCH_2.json"
 	@echo "  federation-bench 4 grids x 16 tenants, ranked broker   -> BENCH_3.json"

@@ -30,6 +30,12 @@
 // capacity pressure, jobs whose entire replica set died (ErrReplicaLost)
 // and backed-off re-staging rounds.
 //
+// Whole worlds can come from declarative spec files instead of flags:
+// -scenario path.json compiles and runs one scenario (internal/scenario),
+// with the workload and storage flags acting as overrides of the spec,
+// and -scenarios 'glob' runs a whole library and prints one results row
+// per scenario — the `make scenarios` sweep.
+//
 // Examples:
 //
 //	federation                                  # sweep all policies, 4 grids × 16 tenants
@@ -40,6 +46,9 @@
 //	federation -locality -skews 0,0.5,1 -wans 0.5,2,8
 //	federation -se-cap 400 -se-policy popularity -minreplicas 2 -skew 1
 //	federation -policies ranked,ranked-safe -se-outage grid01@1h+2h -minreplicas 2
+//	federation -scenario scenarios/contended-wan.json -v
+//	federation -scenario scenarios/clean-baseline.json -items 40 -seed 7
+//	federation -scenarios 'scenarios/*.json'    # the library results table
 //	federation -policies ranked,pinned:3 -v     # acceptance comparison + per-grid tables
 package main
 
@@ -48,8 +57,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
-	"strconv"
 	"strings"
 	"time"
 
@@ -57,6 +66,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/federation"
 	"repro/internal/grid"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -89,32 +99,114 @@ type sweep struct {
 
 func main() {
 	var (
-		grids      = flag.Int("grids", 4, "number of member grids in the federation")
-		tenants    = flag.Int("tenants", 16, "number of concurrent tenants")
-		servs      = flag.Int("services", 4, "pipeline stages per tenant workflow")
-		items      = flag.Int("items", 20, "input data items per tenant")
-		runtime    = flag.Duration("runtime", 2*time.Minute, "per-stage compute time")
-		fileMB     = flag.Float64("filemb", 5, "input/intermediate file size (MB)")
-		spread     = flag.Duration("spread", time.Minute, "arrival stagger between tenants")
-		seed       = flag.Uint64("seed", 1, "base random seed (grid i uses seed+i)")
-		rebroker   = flag.Int("rebroker", 1, "cross-grid resubmissions after terminal failure")
-		policies   = flag.String("policies", "ranked,backlog,rr,pinned:0", "comma-separated policies to sweep (ranked|ranked-blind|ranked-safe|backlog|rr|pinned:N)")
-		skew       = flag.Float64("skew", 0, "fraction of each tenant's inputs placed on its home grid (homes rotate across members)")
-		wan        = flag.Float64("wan", 2, "WAN bandwidth between member grids (MB/s; 0 keeps cross-grid staging free)")
-		wanLat     = flag.Duration("wanlat", 5*time.Second, "per-file WAN fetch setup latency")
-		wanStreams = flag.Int("wanstreams", 0, "concurrent cross-grid fetches per ordered (from,to) grid pair (0 keeps the uncontended pure-delay WAN)")
-		outage     = flag.String("outage", "", "member-grid outage window, format name@start+duration (e.g. grid01@2h+90m; omit +duration for no recovery)")
-		seOutage   = flag.String("se-outage", "", "storage-only outage window (same format as -outage): the grid's storage elements go dark, its compute stays up")
-		seCap      = flag.Float64("se-cap", 0, "storage-element capacity per site (MB; 0 keeps elements unlimited)")
-		sePolicy   = flag.String("se-policy", "lru", "eviction policy of capacity-limited storage elements (lru|popularity)")
-		minRep     = flag.Int("minreplicas", 0, "replication floor k: files below k live replicas are repaired onto healthy grids (0 disables repair)")
-		pairs      = flag.String("pairs", "", "per-pair WAN link overrides, format from>to=MBps:latency[,...]; unlisted pairs fall back to -wan/-wanlat")
-		locality   = flag.Bool("locality", false, "run the locality sweep (replica skew × WAN bandwidth, aware vs blind vs backlog) instead of the policy sweep")
-		skews      = flag.String("skews", "0,0.5,1", "comma-separated skew values of the locality sweep")
-		wans       = flag.String("wans", "0.5,2,8", "comma-separated WAN bandwidths (MB/s) of the locality sweep")
-		verbose    = flag.Bool("v", false, "print the per-grid dispatch and telemetry table per policy")
+		grids        = flag.Int("grids", 4, "number of member grids in the federation")
+		tenants      = flag.Int("tenants", 16, "number of concurrent tenants")
+		servs        = flag.Int("services", 4, "pipeline stages per tenant workflow")
+		items        = flag.Int("items", 20, "input data items per tenant")
+		runtime      = flag.Duration("runtime", 2*time.Minute, "per-stage compute time")
+		fileMB       = flag.Float64("filemb", 5, "input/intermediate file size (MB)")
+		spread       = flag.Duration("spread", time.Minute, "arrival stagger between tenants")
+		seed         = flag.Uint64("seed", 1, "base random seed (grid i uses seed+i)")
+		rebroker     = flag.Int("rebroker", 1, "cross-grid resubmissions after terminal failure")
+		policies     = flag.String("policies", "ranked,backlog,rr,pinned:0", "comma-separated policies to sweep (ranked|ranked-blind|ranked-safe|backlog|rr|pinned:N)")
+		skew         = flag.Float64("skew", 0, "fraction of each tenant's inputs placed on its home grid (homes rotate across members)")
+		wan          = flag.Float64("wan", 2, "WAN bandwidth between member grids (MB/s; 0 keeps cross-grid staging free)")
+		wanLat       = flag.Duration("wanlat", 5*time.Second, "per-file WAN fetch setup latency")
+		wanStreams   = flag.Int("wanstreams", 0, "concurrent cross-grid fetches per ordered (from,to) grid pair (0 keeps the uncontended pure-delay WAN)")
+		outage       = flag.String("outage", "", "member-grid outage window, format name@start+duration (e.g. grid01@2h+90m; omit +duration for no recovery)")
+		seOutage     = flag.String("se-outage", "", "storage-only outage window (same format as -outage): the grid's storage elements go dark, its compute stays up")
+		seCap        = flag.Float64("se-cap", 0, "storage-element capacity per site (MB; 0 keeps elements unlimited)")
+		sePolicy     = flag.String("se-policy", "lru", "eviction policy of capacity-limited storage elements (lru|popularity)")
+		minRep       = flag.Int("minreplicas", 0, "replication floor k: files below k live replicas are repaired onto healthy grids (0 disables repair)")
+		pairs        = flag.String("pairs", "", "per-pair WAN link overrides, format from>to=MBps:latency[,...]; unlisted pairs fall back to -wan/-wanlat")
+		locality     = flag.Bool("locality", false, "run the locality sweep (replica skew × WAN bandwidth, aware vs blind vs backlog) instead of the policy sweep")
+		skews        = flag.String("skews", "0,0.5,1", "comma-separated skew values of the locality sweep")
+		wans         = flag.String("wans", "0.5,2,8", "comma-separated WAN bandwidths (MB/s) of the locality sweep")
+		scenarioPath = flag.String("scenario", "", "run one declarative scenario file; workload and storage flags become overrides of the spec")
+		scenariosPat = flag.String("scenarios", "", "run every scenario file matching the glob and print the library results table")
+		verbose      = flag.Bool("v", false, "print the per-grid dispatch and telemetry table per policy")
 	)
 	flag.Parse()
+
+	if *scenariosPat != "" {
+		scenarioTable(*scenariosPat)
+		return
+	}
+	if *scenarioPath != "" {
+		set := make(map[string]bool)
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		for _, name := range []string{"grids", "wan", "wanlat", "pairs", "locality", "skews", "wans"} {
+			if set[name] {
+				fmt.Fprintf(os.Stderr, "federation: -%s cannot override a scenario; edit the spec's grids/links sections instead\n", name)
+				os.Exit(2)
+			}
+		}
+		ov := scenario.Overrides{}
+		if set["seed"] {
+			ov.Seed = seed
+		}
+		if set["rebroker"] {
+			ov.Rebroker = rebroker
+		}
+		if set["wanstreams"] {
+			ov.WANStreams = wanStreams
+		}
+		if set["se-cap"] {
+			ov.SECapacityMB = seCap
+		}
+		if set["se-policy"] {
+			ov.SEEviction = sePolicy
+		}
+		if set["minreplicas"] {
+			ov.MinReplicas = minRep
+		}
+		if set["tenants"] {
+			ov.Tenants = tenants
+		}
+		if set["services"] {
+			ov.Stages = servs
+		}
+		if set["items"] {
+			ov.Items = items
+		}
+		if set["runtime"] {
+			ov.Runtime = runtime
+		}
+		if set["filemb"] {
+			ov.FileMB = fileMB
+		}
+		if set["spread"] {
+			ov.Spread = spread
+		}
+		if set["skew"] {
+			ov.Skew = skew
+		}
+		if set["policies"] {
+			if strings.Contains(*policies, ",") {
+				fmt.Fprintln(os.Stderr, "federation: -policies with -scenario overrides the broker policy and takes exactly one name")
+				os.Exit(2)
+			}
+			ov.Policy = policies
+		}
+		for _, fl := range []struct {
+			name, val string
+			storage   bool
+		}{{"outage", *outage, false}, {"se-outage", *seOutage, true}} {
+			if !set[fl.name] {
+				continue
+			}
+			o, err := scenario.ParseOutage(fl.val)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "federation: -%s: %v\n", fl.name, err)
+				os.Exit(2)
+			}
+			ov.Outages = append(ov.Outages, scenario.OutageSpec{
+				Grid: o.Grid, At: scenario.Duration(o.At), For: scenario.Duration(o.For), Storage: fl.storage,
+			})
+		}
+		runScenario(*scenarioPath, ov, *verbose)
+		return
+	}
 
 	s := sweep{
 		grids: *grids, tenants: *tenants, servs: *servs, items: *items,
@@ -123,17 +215,14 @@ func main() {
 		links: links(*wan, *wanLat), wanStreams: *wanStreams,
 		seCap: *seCap, minReplicas: *minRep,
 	}
-	switch *sePolicy {
-	case "lru":
-		s.sePolicy = grid.EvictLRU()
-	case "popularity":
-		s.sePolicy = grid.EvictPopularity()
-	default:
-		fmt.Fprintf(os.Stderr, "federation: -se-policy: unknown policy %q (want lru|popularity)\n", *sePolicy)
+	ev, err := scenario.ParseEviction(*sePolicy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "federation: -se-policy:", err)
 		os.Exit(2)
 	}
+	s.sePolicy = ev
 	if *pairs != "" {
-		lm, err := parsePairs(*pairs, s.links)
+		lm, err := scenario.ParsePairs(*pairs, s.links)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "federation: -pairs:", err)
 			os.Exit(2)
@@ -141,7 +230,7 @@ func main() {
 		s.links = lm
 	}
 	if *outage != "" {
-		o, err := parseOutage(*outage)
+		o, err := scenario.ParseOutage(*outage)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "federation: -outage:", err)
 			os.Exit(2)
@@ -149,7 +238,7 @@ func main() {
 		s.outages = []federation.Outage{o}
 	}
 	if *seOutage != "" {
-		o, err := parseOutage(*seOutage)
+		o, err := scenario.ParseOutage(*seOutage)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "federation: -se-outage:", err)
 			os.Exit(2)
@@ -165,7 +254,7 @@ func main() {
 
 	var pols []federation.Policy
 	for _, name := range strings.Split(*policies, ",") {
-		p, err := parsePolicy(strings.TrimSpace(name), s.grids)
+		p, err := scenario.ParsePolicy(strings.TrimSpace(name), s.grids)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "federation:", err)
 			os.Exit(2)
@@ -191,79 +280,169 @@ func main() {
 	} else if s.minReplicas > 0 {
 		fmt.Printf("storage: unlimited elements, replication floor %d\n", s.minReplicas)
 	}
-	fmt.Printf("\n%-16s %12s %12s %12s %6s %6s %10s %10s %10s %10s %5s %8s %6s\n",
-		"policy", "span", "p50", "p95", "jobs", "failed", "resubmits", "wan_mb", "wan_wait", "evicted_mb", "lost", "restage", "grids")
+	fmt.Println()
+	header("policy", 16)
 
 	for _, policy := range pols {
 		rep, fed := s.run(policy)
-		ms := make([]time.Duration, 0, len(rep.Tenants))
-		for _, tr := range rep.Tenants {
-			if tr.Err != nil {
-				fmt.Fprintf(os.Stderr, "federation: %s: tenant %s: %v\n", policy.Name(), tr.Name, tr.Err)
-				continue
-			}
-			ms = append(ms, tr.Makespan)
-		}
-		sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
-		used, restage := 0, uint64(0)
-		var wanMB float64
-		var wanWait time.Duration
-		for i := 0; i < fed.Size(); i++ {
-			if fed.Telemetry(i).Dispatched > 0 {
-				used++
-			}
-			// Bytes actually moved and waits actually paid (failed
-			// attempts included), not the telemetry's completed-jobs
-			// observation.
-			wanMB += fed.Grid(i).RemoteInMB()
-			wanWait += fed.Grid(i).WANWait()
-			restage += fed.Grid(i).Restages()
-		}
-		var evictedMB float64
-		for _, st := range fed.Catalog().SEStats() {
-			evictedMB += st.EvictedMB
-		}
-		lost := 0
-		for _, rec := range fed.Records() {
-			if errors.Is(rec.Err, grid.ErrReplicaLost) {
-				lost++
-			}
-		}
-		fmt.Printf("%-16s %12v %12v %12v %6d %6d %10d %10.0f %10v %10.0f %5d %8d %3d/%d\n",
-			policy.Name(), rep.Makespan.Round(time.Second),
-			pct(ms, 50).Round(time.Second), pct(ms, 95).Round(time.Second),
-			rep.Global.Jobs, rep.Global.Failed, rep.Global.Resubmits, wanMB,
-			wanWait.Round(time.Second), evictedMB, lost, restage, used, fed.Size())
+		row(policy.Name(), 16, rep, fed)
 		if *verbose {
-			for i := 0; i < fed.Size(); i++ {
-				tl := fed.Telemetry(i)
-				fmt.Printf("    %-8s dispatched=%-5d observed=%-5d rebrokered=%-3d submitEWMA=%-8v queueEWMA=%-8v stretch=%-6.2f wan_mb=%-8.0f wan_wait=%-8v restages=%d\n",
-					fed.GridName(i), tl.Dispatched, tl.Observed, tl.Rebrokered,
-					tl.SubmitEWMA.Round(time.Second), tl.QueueEWMA.Round(time.Second),
-					tl.Stretch(), fed.Grid(i).RemoteInMB(), fed.Grid(i).WANWait().Round(time.Second),
-					fed.Grid(i).Restages())
-			}
-			if fab := fed.Fabric(); fab != nil {
-				for _, ps := range fab.PairStats() {
-					fmt.Printf("    %s>%s cap=%d grants=%d peak_queue=%d\n",
-						ps.From, ps.To, ps.Capacity, ps.Grants, ps.PeakWaiting)
-				}
-			}
-			for _, st := range fed.Catalog().SEStats() {
-				if st.Evictions == 0 && st.PeakMB == 0 {
-					continue
-				}
-				site := st.Site.Grid
-				if st.Site.Cluster != "" {
-					site += "/" + st.Site.Cluster
-				}
-				fmt.Printf("    SE %-20s used=%-8.0f peak=%-8.0f files=%-5d evictions=%-5d evicted_mb=%.0f\n",
-					site, st.UsedMB, st.PeakMB, st.Files, st.Evictions, st.EvictedMB)
-			}
-			if f := fed.Repairs(); f > 0 {
-				fmt.Printf("    repairs=%d repaired_mb=%.0f\n", f, fed.RepairedMB())
-			}
+			printVerbose(fed)
 		}
+	}
+}
+
+// runScenario compiles and runs one spec file with CLI overrides applied.
+func runScenario(path string, ov scenario.Overrides, verbose bool) {
+	spec, err := scenario.Load(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "federation:", err)
+		os.Exit(2)
+	}
+	if err := ov.Apply(spec); err != nil {
+		fmt.Fprintln(os.Stderr, "federation:", err)
+		os.Exit(2)
+	}
+	eng := sim.NewEngine()
+	w, err := scenario.Compile(eng, spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "federation:", err)
+		os.Exit(1)
+	}
+	if spec.Description != "" {
+		fmt.Printf("scenario %s: %s\n", spec.Name, spec.Description)
+	} else {
+		fmt.Printf("scenario %s\n", spec.Name)
+	}
+	fmt.Printf("%d grids, %d tenants, seed %d\n\n", len(spec.GridNames()), spec.TenantCount(), spec.Seed)
+	rep, err := w.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "federation:", err)
+		os.Exit(1)
+	}
+	header("scenario", 20)
+	row(spec.Name, 20, rep, w.Fed)
+	if verbose {
+		printVerbose(w.Fed)
+	}
+}
+
+// scenarioTable runs every scenario matching the glob on a fresh engine
+// and prints the library results table — the `make scenarios` sweep.
+func scenarioTable(pattern string) {
+	paths, err := filepath.Glob(pattern)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "federation: -scenarios:", err)
+		os.Exit(2)
+	}
+	if len(paths) == 0 {
+		fmt.Fprintf(os.Stderr, "federation: -scenarios: no files match %q\n", pattern)
+		os.Exit(2)
+	}
+	sort.Strings(paths)
+	fmt.Printf("scenario library: %d scenarios\n\n", len(paths))
+	header("scenario", 20)
+	for _, p := range paths {
+		spec, err := scenario.Load(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "federation:", err)
+			os.Exit(1)
+		}
+		eng := sim.NewEngine()
+		w, err := scenario.Compile(eng, spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "federation:", err)
+			os.Exit(1)
+		}
+		rep, err := w.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "federation:", err)
+			os.Exit(1)
+		}
+		row(spec.Name, 20, rep, w.Fed)
+	}
+}
+
+// header prints the results-table column header with the given label
+// column.
+func header(label string, width int) {
+	fmt.Printf("%-*s %12s %12s %12s %6s %6s %10s %10s %10s %10s %5s %8s %6s\n",
+		width, label, "span", "p50", "p95", "jobs", "failed", "resubmits", "wan_mb", "wan_wait", "evicted_mb", "lost", "restage", "grids")
+}
+
+// row aggregates one run into a results-table row: makespan percentiles
+// across tenants, WAN bytes and waits actually paid, storage churn and
+// replica-loss counts.
+func row(label string, width int, rep *campaign.Report, fed *federation.Federation) {
+	ms := make([]time.Duration, 0, len(rep.Tenants))
+	for _, tr := range rep.Tenants {
+		if tr.Err != nil {
+			fmt.Fprintf(os.Stderr, "federation: %s: tenant %s: %v\n", label, tr.Name, tr.Err)
+			continue
+		}
+		ms = append(ms, tr.Makespan)
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	used, restage := 0, uint64(0)
+	var wanMB float64
+	var wanWait time.Duration
+	for i := 0; i < fed.Size(); i++ {
+		if fed.Telemetry(i).Dispatched > 0 {
+			used++
+		}
+		// Bytes actually moved and waits actually paid (failed
+		// attempts included), not the telemetry's completed-jobs
+		// observation.
+		wanMB += fed.Grid(i).RemoteInMB()
+		wanWait += fed.Grid(i).WANWait()
+		restage += fed.Grid(i).Restages()
+	}
+	var evictedMB float64
+	for _, st := range fed.Catalog().SEStats() {
+		evictedMB += st.EvictedMB
+	}
+	lost := 0
+	for _, rec := range fed.Records() {
+		if errors.Is(rec.Err, grid.ErrReplicaLost) {
+			lost++
+		}
+	}
+	fmt.Printf("%-*s %12v %12v %12v %6d %6d %10d %10.0f %10v %10.0f %5d %8d %3d/%d\n",
+		width, label, rep.Makespan.Round(time.Second),
+		pct(ms, 50).Round(time.Second), pct(ms, 95).Round(time.Second),
+		rep.Global.Jobs, rep.Global.Failed, rep.Global.Resubmits, wanMB,
+		wanWait.Round(time.Second), evictedMB, lost, restage, used, fed.Size())
+}
+
+// printVerbose prints the per-grid telemetry, fabric and storage tables.
+func printVerbose(fed *federation.Federation) {
+	for i := 0; i < fed.Size(); i++ {
+		tl := fed.Telemetry(i)
+		fmt.Printf("    %-8s dispatched=%-5d observed=%-5d rebrokered=%-3d submitEWMA=%-8v queueEWMA=%-8v stretch=%-6.2f wan_mb=%-8.0f wan_wait=%-8v restages=%d\n",
+			fed.GridName(i), tl.Dispatched, tl.Observed, tl.Rebrokered,
+			tl.SubmitEWMA.Round(time.Second), tl.QueueEWMA.Round(time.Second),
+			tl.Stretch(), fed.Grid(i).RemoteInMB(), fed.Grid(i).WANWait().Round(time.Second),
+			fed.Grid(i).Restages())
+	}
+	if fab := fed.Fabric(); fab != nil {
+		for _, ps := range fab.PairStats() {
+			fmt.Printf("    %s>%s cap=%d grants=%d peak_queue=%d\n",
+				ps.From, ps.To, ps.Capacity, ps.Grants, ps.PeakWaiting)
+		}
+	}
+	for _, st := range fed.Catalog().SEStats() {
+		if st.Evictions == 0 && st.PeakMB == 0 {
+			continue
+		}
+		site := st.Site.Grid
+		if st.Site.Cluster != "" {
+			site += "/" + st.Site.Cluster
+		}
+		fmt.Printf("    SE %-20s used=%-8.0f peak=%-8.0f files=%-5d evictions=%-5d evicted_mb=%.0f\n",
+			site, st.UsedMB, st.PeakMB, st.Files, st.Evictions, st.EvictedMB)
+	}
+	if f := fed.Repairs(); f > 0 {
+		fmt.Printf("    repairs=%d repaired_mb=%.0f\n", f, fed.RepairedMB())
 	}
 }
 
@@ -320,12 +499,12 @@ func (s sweep) run(policy federation.Policy) (*campaign.Report, *federation.Fede
 // WAN bandwidth for the locality-aware ranked policy, its locality-blind
 // control and least-backlog.
 func localitySweep(s sweep, wanLat time.Duration, skews, wans string) {
-	skewVals, err := parseFloats(skews)
+	skewVals, err := scenario.ParseFloats(skews)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "federation: -skews:", err)
 		os.Exit(2)
 	}
-	wanVals, err := parseFloats(wans)
+	wanVals, err := scenario.ParseFloats(wans)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "federation: -wans:", err)
 		os.Exit(2)
@@ -380,111 +559,10 @@ func localitySweep(s sweep, wanLat time.Duration, skews, wans string) {
 	}
 }
 
-// parseFloats parses a comma-separated float list.
-func parseFloats(s string) ([]float64, error) {
-	var out []float64
-	for _, f := range strings.Split(s, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad value %q", f)
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
 // pct returns the upper nearest-rank percentile of sorted durations.
 func pct(sorted []time.Duration, p int) time.Duration {
 	if len(sorted) == 0 {
 		return 0
 	}
 	return sorted[len(sorted)*p/100]
-}
-
-// parseOutage reads a name@start+duration outage spec ("+duration" is
-// optional: without it the grid never recovers).
-func parseOutage(s string) (federation.Outage, error) {
-	name, window, ok := strings.Cut(s, "@")
-	if !ok || name == "" {
-		return federation.Outage{}, fmt.Errorf("want name@start+duration, got %q", s)
-	}
-	start, dur, recovers := strings.Cut(window, "+")
-	at, err := time.ParseDuration(start)
-	if err != nil {
-		return federation.Outage{}, fmt.Errorf("bad start in %q: %v", s, err)
-	}
-	o := federation.Outage{Grid: name, At: at}
-	if recovers {
-		if o.For, err = time.ParseDuration(dur); err != nil {
-			return federation.Outage{}, fmt.Errorf("bad duration in %q: %v", s, err)
-		}
-	}
-	return o, nil
-}
-
-// parsePairs reads a from>to=MBps:latency[,...] per-pair override list
-// into a LinkMatrix over the given fallback model.
-func parsePairs(s string, fallback grid.LinkModel) (*grid.LinkMatrix, error) {
-	m := &grid.LinkMatrix{Pairs: make(map[grid.GridPair]grid.Link), Fallback: fallback}
-	for _, entry := range strings.Split(s, ",") {
-		pair, link, ok := strings.Cut(strings.TrimSpace(entry), "=")
-		if !ok {
-			return nil, fmt.Errorf("want from>to=MBps:latency, got %q", entry)
-		}
-		from, to, ok := strings.Cut(pair, ">")
-		if !ok || from == "" || to == "" {
-			return nil, fmt.Errorf("bad pair in %q", entry)
-		}
-		mbps, lat, ok := strings.Cut(link, ":")
-		if !ok {
-			return nil, fmt.Errorf("bad link in %q (want MBps:latency)", entry)
-		}
-		bw, err := strconv.ParseFloat(mbps, 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad bandwidth in %q: %v", entry, err)
-		}
-		if bw <= 0 {
-			// Link.Cost treats MBps <= 0 as latency-only (infinite
-			// bandwidth), so a typo would silently run a different
-			// experiment than the table claims.
-			return nil, fmt.Errorf("non-positive bandwidth in %q", entry)
-		}
-		latency, err := time.ParseDuration(lat)
-		if err != nil {
-			return nil, fmt.Errorf("bad latency in %q: %v", entry, err)
-		}
-		if latency < 0 {
-			return nil, fmt.Errorf("negative latency in %q", entry)
-		}
-		m.Pairs[grid.GridPair{From: from, To: to}] = grid.Link{MBps: bw, Latency: latency}
-	}
-	return m, nil
-}
-
-// parsePolicy resolves a CLI policy name, rejecting a pinned index
-// outside the federation (Pinned would clamp it to grid 0 and the table
-// row would silently describe a different experiment).
-func parsePolicy(name string, grids int) (federation.Policy, error) {
-	switch {
-	case name == "ranked":
-		return federation.Ranked(), nil
-	case name == "ranked-blind":
-		return federation.RankedLocalityBlind(), nil
-	case name == "ranked-safe":
-		return federation.RankedSafe(), nil
-	case name == "backlog":
-		return federation.LeastBacklog(), nil
-	case name == "rr":
-		return federation.RoundRobin(), nil
-	case strings.HasPrefix(name, "pinned:"):
-		idx, err := strconv.Atoi(strings.TrimPrefix(name, "pinned:"))
-		if err != nil {
-			return nil, fmt.Errorf("bad pinned index in %q", name)
-		}
-		if idx < 0 || idx >= grids {
-			return nil, fmt.Errorf("pinned index %d outside the %d-grid federation", idx, grids)
-		}
-		return federation.Pinned(idx), nil
-	}
-	return nil, fmt.Errorf("unknown policy %q (want ranked|ranked-blind|ranked-safe|backlog|rr|pinned:N)", name)
 }

@@ -39,6 +39,7 @@ func DefaultCritical(pkgPath string) bool {
 		"repro/internal/federation",
 		"repro/internal/campaign",
 		"repro/internal/core",
+		"repro/internal/scenario",
 	} {
 		if pkgPath == p {
 			return true

@@ -78,6 +78,7 @@ func defaultCritical(pkgPath string) bool {
 		"repro/internal/federation",
 		"repro/internal/campaign",
 		"repro/internal/core",
+		"repro/internal/scenario",
 	} {
 		if pkgPath == p {
 			return true

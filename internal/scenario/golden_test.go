@@ -1,0 +1,85 @@
+package scenario
+
+import (
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// libraryPaths returns every spec of the shipped scenario library,
+// failing the test if the library shrank below its advertised size.
+func libraryPaths(t *testing.T) []string {
+	t.Helper()
+	paths, err := filepath.Glob("../../scenarios/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 6 {
+		t.Fatalf("scenario library has %d specs, want at least 6", len(paths))
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// runLibrarySpec loads, compiles and runs one library spec on a fresh
+// engine, failing on any tenant error, and returns the run fingerprint.
+func runLibrarySpec(t *testing.T, path string) uint64 {
+	t.Helper()
+	spec, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	w, err := Compile(eng, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range rep.Tenants {
+		if tr.Err != nil {
+			t.Fatalf("tenant %s: %v", tr.Name, tr.Err)
+		}
+	}
+	return Fingerprint(rep, w.Fed)
+}
+
+// TestScenarioLibraryDeterminism is the per-scenario golden gate: every
+// spec of the shipped library is compiled and run twice from a fresh
+// Load each time, and the two runs must produce bit-identical
+// fingerprints (per-tenant makespans, per-grid telemetry, WAN and
+// storage churn). A spec file can never go nondeterministic silently.
+func TestScenarioLibraryDeterminism(t *testing.T) {
+	for _, path := range libraryPaths(t) {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			first := runLibrarySpec(t, path)
+			if again := runLibrarySpec(t, path); again != first {
+				t.Fatalf("scenario not deterministic: %#x vs %#x", first, again)
+			}
+		})
+	}
+}
+
+// TestScenarioLibraryLoads pins the library's metadata: every spec
+// parses, validates, and names itself after its file — so the sweep
+// table rows and the file listing stay in one-to-one correspondence.
+func TestScenarioLibraryLoads(t *testing.T) {
+	for _, path := range libraryPaths(t) {
+		spec, err := Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := filepath.Base(path)
+		if want := spec.Name + ".json"; base != want {
+			t.Errorf("%s: spec name %q does not match the file name", base, spec.Name)
+		}
+		if spec.Description == "" {
+			t.Errorf("%s: spec has no description for the library table", base)
+		}
+	}
+}

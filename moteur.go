@@ -36,6 +36,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/provenance"
+	"repro/internal/scenario"
 	"repro/internal/scufl"
 	"repro/internal/services"
 	"repro/internal/sim"
@@ -366,3 +367,27 @@ type ScuflOptions = scufl.Options
 
 // ServiceRegistry binds service names referenced by a Scufl document.
 type ServiceRegistry = scufl.Registry
+
+// Scenario compiler: declarative JSON worlds for the federated layer.
+type (
+	// Scenario is a declarative description of a federated campaign
+	// world — grids, links, outages, storage, broker, tenant mix.
+	Scenario = scenario.Spec
+	// ScenarioWorld is a compiled scenario ready to run.
+	ScenarioWorld = scenario.World
+)
+
+// Scenario loading, compilation and fingerprinting.
+var (
+	// LoadScenario reads, parses and validates a scenario file; errors
+	// are anchored to source lines.
+	LoadScenario = scenario.Load
+	// ParseScenario parses and validates scenario bytes.
+	ParseScenario = scenario.Parse
+	// CompileScenario turns a validated scenario into a runnable world
+	// on the given engine.
+	CompileScenario = scenario.Compile
+	// ScenarioFingerprint condenses a scenario run into one comparable
+	// determinism fingerprint.
+	ScenarioFingerprint = scenario.Fingerprint
+)
