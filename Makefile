@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint scenarios bench campaign-bench federation-bench locality-bench wan-bench storage-bench clean help
+.PHONY: all build test vet lint scenarios bench campaign-bench federation-bench locality-bench wan-bench storage-bench scale-bench clean help
 
 all: vet lint build test
 
@@ -72,8 +72,17 @@ wan-bench:
 storage-bench:
 	$(GO) test -bench BenchmarkStorageChurn -benchmem -benchtime 2x -run '^$$' . | tee BENCH_6.json
 
+# Metropolis-scale benchmark: 100k outputless jobs across 8 heterogeneous
+# grids in 200 submission waves, run serial and parallel (per-grid event
+# loops); the benchmark itself fails unless the two modes' result
+# fingerprints are bit-identical, so the timing comparison is of the same
+# computation. Two iterations so the in-benchmark determinism assertion
+# also compares fingerprints across runs.
+scale-bench:
+	$(GO) test -bench BenchmarkFederationMetropolis -benchmem -benchtime 2x -run '^$$' . | tee BENCH_9.json
+
 clean:
-	rm -f BENCH_1.json BENCH_2.json BENCH_3.json BENCH_4.json BENCH_5.json BENCH_6.json
+	rm -f BENCH_1.json BENCH_2.json BENCH_3.json BENCH_4.json BENCH_5.json BENCH_6.json BENCH_9.json
 	rm -rf bin
 
 help:
@@ -90,4 +99,5 @@ help:
 	@echo "  locality-bench   skewed replicas over a WAN, ranked    -> BENCH_4.json"
 	@echo "  wan-bench        contended per-pair WAN channels       -> BENCH_5.json"
 	@echo "  storage-bench    SE capacity churn, eviction, repair   -> BENCH_6.json"
+	@echo "  scale-bench      100k jobs x 8 grids, serial+parallel  -> BENCH_9.json"
 	@echo "  clean            remove BENCH_*.json"

@@ -1,0 +1,140 @@
+package federation
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/sim"
+)
+
+// runParallelWorld drives the equivalence testbed: four heterogeneous
+// grids, input replicas placed across them (so stage plans have real
+// remote classes under the default WAN link model), and nJobs outputless
+// jobs pre-scheduled on the main engine in staggered waves. It returns a
+// fingerprint of every observable the parallel engine must preserve:
+// per-job placement and makespan, and per-grid telemetry.
+func runParallelWorld(t *testing.T, parallel bool, nJobs int) string {
+	t.Helper()
+	eng := sim.NewEngine()
+	f, err := New(eng, Config{
+		Grids:    HeterogeneousSpecs(4, 7),
+		Policy:   Ranked(),
+		Parallel: parallel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ParallelActive() != parallel {
+		t.Fatalf("ParallelActive() = %v, want %v", f.ParallelActive(), parallel)
+	}
+	cat := f.Catalog()
+	inputs := make([]string, 6)
+	for i := range inputs {
+		inputs[i] = fmt.Sprintf("in%02d", i)
+		cat.RegisterAt(inputs[i], 40, grid.Site{Grid: f.GridName(i % f.Size())})
+	}
+	// Completion callbacks run on shard goroutines when parallelism is
+	// engaged: each writes only its own pre-allocated slot.
+	makespans := make([]time.Duration, nJobs)
+	where := make([]string, nJobs)
+	for i := 0; i < nJobs; i++ {
+		i := i
+		spec := grid.JobSpec{
+			Name:    fmt.Sprintf("job%04d", i),
+			Inputs:  []string{inputs[i%len(inputs)], inputs[(i+2)%len(inputs)]},
+			Runtime: 2 * time.Minute,
+		}
+		eng.Schedule(sim.Time(i)*sim.Time(15*time.Second), func() {
+			f.Submit(spec, func(r *grid.JobRecord) {
+				makespans[i] = r.Makespan()
+				where[i] = r.Grid
+			})
+		})
+	}
+	f.Run()
+	var b strings.Builder
+	for i := range makespans {
+		fmt.Fprintf(&b, "%d:%s:%v\n", i, where[i], makespans[i])
+	}
+	for i := 0; i < f.Size(); i++ {
+		tl := f.Telemetry(i)
+		fmt.Fprintf(&b, "%s d=%d o=%d s=%v q=%v wan=%.3f\n",
+			f.GridName(i), tl.Dispatched, tl.Observed, tl.SubmitEWMA, tl.QueueEWMA, tl.RemoteInMB)
+	}
+	return b.String()
+}
+
+// TestParallelRunMatchesSerial pins the parallel engine's bit-identity
+// contract: the same configuration, seeds, and submission schedule yield
+// exactly the same per-job outcomes and per-grid telemetry whether the
+// member grids run serially on one engine or concurrently on per-grid
+// shards — and the parallel run itself is deterministic across repeats.
+func TestParallelRunMatchesSerial(t *testing.T) {
+	const jobs = 240
+	serial := runParallelWorld(t, false, jobs)
+	par := runParallelWorld(t, true, jobs)
+	if serial != par {
+		t.Fatalf("parallel run diverged from serial run:\nserial:\n%s\nparallel:\n%s", serial, par)
+	}
+	if again := runParallelWorld(t, true, jobs); again != par {
+		t.Fatalf("parallel run is not deterministic across repeats")
+	}
+}
+
+// TestParallelFallsBackWhenUnsafe pins the safety predicate: any
+// configuration with a cross-shard channel must silently run serial.
+func TestParallelFallsBackWhenUnsafe(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"wan-streams", func(c *Config) { c.WANStreams = 2 }},
+		{"rebroker", func(c *Config) { c.Rebroker = 1 }},
+		{"storage", func(c *Config) { c.SECapacityMB = 100 }},
+		{"repair", func(c *Config) { c.MinReplicas = 2 }},
+		{"outage", func(c *Config) {
+			c.Outages = []Outage{{Grid: "grid00", At: time.Hour, For: time.Hour}}
+		}},
+		{"single-grid", func(c *Config) { c.Grids = c.Grids[:1] }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{Grids: HeterogeneousSpecs(2, 1), Parallel: true}
+			tc.mutate(&cfg)
+			f, err := New(sim.NewEngine(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.ParallelActive() {
+				t.Fatalf("%s configuration engaged parallelism", tc.name)
+			}
+		})
+	}
+}
+
+// TestParallelRejectsOutputs pins the outputless-jobs contract: output
+// registration would mutate the shared catalog from inside a window, so
+// an engaged federation must refuse the submission loudly instead of
+// racing.
+func TestParallelRejectsOutputs(t *testing.T) {
+	f, err := New(sim.NewEngine(), Config{Grids: HeterogeneousSpecs(2, 1), Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.ParallelActive() {
+		t.Fatal("safe configuration did not engage parallelism")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Submit with outputs did not panic under engaged parallelism")
+		}
+	}()
+	f.Submit(grid.JobSpec{
+		Name:    "producer",
+		Outputs: []grid.FileDecl{{Name: "out", SizeMB: 5}},
+		Runtime: time.Minute,
+	}, func(*grid.JobRecord) {})
+}

@@ -46,7 +46,17 @@ func (f *Federation) scheduleRepair(name string) {
 	if len(live) >= f.cfg.MinReplicas {
 		return
 	}
+	// Capacity-aware targeting: among the fully-alive member grids not
+	// already holding a live copy, pick the one whose grid-level SE (the
+	// element repair copies land on) is least full right now, so repair
+	// traffic spreads by free space instead of piling every copy onto the
+	// first healthy grid until its eviction policy thrashes. Ties —
+	// always, under passive storage, where every gauge reads zero —
+	// resolve to the lexically smallest grid name, which for the
+	// auto-assigned "gridNN" names is exactly the historical
+	// first-healthy-in-configuration-order choice.
 	target := -1
+	var targetUsed float64
 	for i := range f.grids {
 		if f.grids[i].Down() || f.grids[i].StorageDown() {
 			continue
@@ -58,9 +68,13 @@ func (f *Federation) scheduleRepair(name string) {
 				break
 			}
 		}
-		if !held {
-			target = i
-			break
+		if held {
+			continue
+		}
+		used := f.catalog.SEUsedMB(grid.Site{Grid: f.names[i]})
+		if target < 0 || used < targetUsed ||
+			(used == targetUsed && f.names[i] < f.names[target]) {
+			target, targetUsed = i, used
 		}
 	}
 	if target < 0 {

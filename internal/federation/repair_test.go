@@ -1,0 +1,64 @@
+package federation
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/sim"
+)
+
+// repairSites returns the grid names holding a replica of the file, in
+// replica-set (site-key) order.
+func repairSites(f *Federation, name string) []string {
+	var out []string
+	for _, r := range f.Catalog().Replicas(name) {
+		out = append(out, r.Site.Grid)
+	}
+	return out
+}
+
+// TestRepairTargetsLeastFullSE pins the capacity-aware repair targeting:
+// when the replication floor asks for a copy, the target is the healthy
+// member grid whose grid-level storage element has the most free space —
+// not the first healthy grid in configuration order, which under capacity
+// pressure would pile every repair onto one element until its eviction
+// policy thrashes.
+func TestRepairTargetsLeastFullSE(t *testing.T) {
+	specs := make([]GridSpec, 3)
+	for i := range specs {
+		cfg := testGridConfig(4, 2*time.Second)
+		cfg.Seed = uint64(50 + i)
+		specs[i] = GridSpec{Name: fmt.Sprintf("g%d", i), Config: cfg}
+	}
+	eng := sim.NewEngine()
+	f, err := New(eng, Config{
+		Grids:        specs,
+		MinReplicas:  2,
+		SECapacityMB: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := f.Catalog()
+	// Nearly fill g1's grid-level SE. "filler" itself is below the k=2
+	// floor, and its repair — targeted while g0 and g2 both read empty —
+	// resolves the tie to the lexically smaller g0.
+	cat.RegisterAt("gfn://filler", 900, grid.Site{Grid: "g1"})
+	// The file under test registers on g0. Its repair candidates are g1
+	// (900 MB resident) and g2 (empty): capacity-aware targeting must
+	// choose g2, where the first-healthy rule would have chosen g1.
+	cat.RegisterAt("gfn://data", 60, grid.Site{Grid: "g0"})
+	eng.Run()
+
+	if got := repairSites(f, "gfn://data"); len(got) != 2 || got[0] != "g0" || got[1] != "g2" {
+		t.Errorf("gfn://data replicas on %v, want [g0 g2] (repair must avoid the near-capacity g1)", got)
+	}
+	if got := repairSites(f, "gfn://filler"); len(got) != 2 || got[0] != "g0" || got[1] != "g1" {
+		t.Errorf("gfn://filler replicas on %v, want [g0 g1] (empty-gauge tie resolves lexically)", got)
+	}
+	if f.Repairs() != 2 {
+		t.Errorf("repairs = %d, want 2", f.Repairs())
+	}
+}

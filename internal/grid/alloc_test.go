@@ -1,0 +1,58 @@
+package grid
+
+import (
+	"testing"
+)
+
+// TestPlanAllocFreeFullyLocal pins the broker hot path's allocation
+// contract: planning a fully-local input set (the all-local link model's
+// fast path, hit by every cluster ranking and federation view build)
+// performs zero heap allocations.
+func TestPlanAllocFreeFullyLocal(t *testing.T) {
+	cat := NewCatalog()
+	inputs := []string{"a", "b", "c", "d"}
+	for _, name := range inputs {
+		cat.Register(name, 25)
+	}
+	to := Site{Grid: "g", Cluster: "c0"}
+	if avg := testing.AllocsPerRun(200, func() {
+		p := cat.Plan(inputs, to)
+		if p.LocalFiles != len(inputs) {
+			t.Fatalf("plan classified %d local files, want %d", p.LocalFiles, len(inputs))
+		}
+	}); avg != 0 {
+		t.Fatalf("fully-local Catalog.Plan allocates %.1f objects per call, want 0", avg)
+	}
+}
+
+// TestStagePlanIntoAllocFreeWarm pins the stage-in path's allocation
+// contract: re-planning into a warm caller-owned plan — remote legs
+// included — reuses the leg and site backing arrays and allocates
+// nothing. This is the invariant that keeps re-staging rounds,
+// resubmissions, and recycled jobRuns allocation-free.
+func TestStagePlanIntoAllocFreeWarm(t *testing.T) {
+	cat := NewCatalog()
+	cat.SetLinks(DefaultWAN())
+	inputs := []string{"a", "b", "c", "d"}
+	homes := []string{"gA", "gB", "gB", "gC"}
+	for i, name := range inputs {
+		cat.RegisterAt(name, 25, Site{Grid: homes[i], Cluster: "c0"})
+	}
+	to := Site{Grid: "gA", Cluster: "c0"}
+	var plan StagePlan
+	if avg := testing.AllocsPerRun(200, func() {
+		cat.stagePlanInto(&plan, inputs, to)
+		if len(plan.Remote) != 2 || plan.RemoteFiles != 3 {
+			t.Fatalf("plan legs = %d (files %d), want 2 legs over 3 remote files", len(plan.Remote), plan.RemoteFiles)
+		}
+	}); avg != 0 {
+		t.Fatalf("warm stagePlanInto allocates %.1f objects per call, want 0", avg)
+	}
+	if plan.Remote[0].FromGrid != "gB" || plan.Remote[1].FromGrid != "gC" {
+		t.Fatalf("legs from %s,%s, want gB,gC (lexical source order)", plan.Remote[0].FromGrid, plan.Remote[1].FromGrid)
+	}
+	if plan.RemoteTime <= 0 || plan.RemoteTime != plan.Remote[0].Time+plan.Remote[1].Time {
+		t.Fatalf("leg times %v+%v do not sum to RemoteTime %v",
+			plan.Remote[0].Time, plan.Remote[1].Time, plan.RemoteTime)
+	}
+}

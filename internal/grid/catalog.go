@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/arena"
 	"repro/internal/sim"
 )
 
@@ -21,10 +22,13 @@ type Replica struct {
 // catEntry is one GFN's replica set. Replicas are kept sorted by site key
 // with at most one replica per site, so every traversal — best-replica
 // selection, Replicas, stage planning — is deterministic regardless of
-// registration order.
+// registration order. Entries are arena-allocated by the catalog, and the
+// single-replica common case (every fresh registration) lives in the
+// entry's inline array, so registering an output is allocation-free.
 type catEntry struct {
 	sizeMB float64
 	reps   []Replica
+	inline [1]Replica
 }
 
 // Catalog is the replica catalog: it maps Grid File Names (GFNs) to
@@ -54,6 +58,11 @@ type Catalog struct {
 	floor     int
 	repair    func(name string)
 	now       func() sim.Time
+
+	// entries arena-allocates the catEntry records (chunked; entries live
+	// for the catalog's lifetime, so re-registration reuses the existing
+	// entry instead of minting a new one).
+	entries arena.Chunked[catEntry]
 }
 
 // NewCatalog returns an empty catalog with the all-local link model
@@ -114,13 +123,20 @@ func (c *Catalog) Register(name string, sizeMB float64) {
 // pressure), replaced replicas leave theirs, and a replication floor
 // above one fires the repair hook for the fresh single-copy set.
 func (c *Catalog) RegisterAt(name string, sizeMB float64, site Site) {
-	if old, ok := c.files[name]; ok && len(c.storage) > 0 {
-		for _, r := range old.reps {
-			c.removeResident(name, r.Site)
+	e, ok := c.files[name]
+	if ok {
+		if len(c.storage) > 0 {
+			for _, r := range e.reps {
+				c.removeResident(name, r.Site)
+			}
 		}
+	} else {
+		e = c.entries.New()
+		c.files[name] = e
 	}
-	e := &catEntry{sizeMB: sizeMB, reps: []Replica{{Site: site, SizeMB: sizeMB}}}
-	c.files[name] = e
+	e.sizeMB = sizeMB
+	e.inline[0] = Replica{Site: site, SizeMB: sizeMB}
+	e.reps = e.inline[:1]
 	c.addResident(name, sizeMB, site)
 	c.checkFloor(name, e)
 }
@@ -370,25 +386,45 @@ func (c *Catalog) PlanDetailed(inputs []string, to Site) StagePlan {
 	return c.plan(inputs, to, true, false)
 }
 
-// stagePlan is the plan variant of the actual stage-in path: legs are
-// materialized and the chosen replicas' access records are touched (the
-// only place accesses count — planning for ranking stays read-only, so
-// broker estimates never distort eviction recency or popularity).
-func (c *Catalog) stagePlan(inputs []string, to Site) StagePlan {
-	return c.plan(inputs, to, true, true)
+// stagePlanInto is the plan variant of the actual stage-in path: legs are
+// materialized into the caller-owned plan (whose backing arrays are
+// reused across re-staging rounds, attempts, and jobs) and the chosen
+// replicas' access records are touched (the only place accesses count —
+// planning for ranking stays read-only, so broker estimates never distort
+// eviction recency or popularity).
+func (c *Catalog) stagePlanInto(p *StagePlan, inputs []string, to Site) {
+	c.planInto(p, inputs, to, true, true)
 }
 
 func (c *Catalog) plan(inputs []string, to Site, detail, touch bool) StagePlan {
 	var p StagePlan
+	c.planInto(&p, inputs, to, detail, touch)
+	return p
+}
+
+// reset clears the plan for reuse, keeping the remote-leg backing array
+// (and, through addLeg's spare-backing recycling, the legs' Sites arrays)
+// so a recycled plan materializes its legs without allocating.
+func (p *StagePlan) reset() {
+	remote := p.Remote[:0]
+	*p = StagePlan{Remote: remote}
+}
+
+// planInto resolves the inputs into the caller-owned plan, which is reset
+// first. It is the engine behind Plan/PlanDetailed/stagePlanInto; callers
+// that recycle the plan across rounds get leg materialization without
+// per-round allocations.
+func (c *Catalog) planInto(p *StagePlan, inputs []string, to Site, detail, touch bool) {
+	p.reset()
 	for _, name := range inputs {
 		rep, link, live, ok := c.best(name, to)
 		if !ok {
 			p.Missing = name
-			return p
+			return
 		}
 		if live == 0 {
 			p.Unavailable = name
-			return p
+			return
 		}
 		if touch {
 			c.touch(name, rep)
@@ -410,7 +446,6 @@ func (c *Catalog) plan(inputs []string, to Site, detail, touch bool) StagePlan {
 			}
 		}
 	}
-	return p
 }
 
 // addLeg folds one remote fetch into its source grid's leg, keeping the
@@ -432,7 +467,15 @@ func (p *StagePlan) addLeg(from Site, sizeMB float64, cost time.Duration) {
 		l.Sites = append(l.Sites, from)
 		return
 	}
+	// Steal the Sites backing of the slot the append is about to zero —
+	// a recycled plan keeps its former legs' site arrays in the backing
+	// array beyond len, so re-materializing legs allocates nothing once
+	// the plan is warm.
+	var spare []Site
+	if n := len(p.Remote); n < cap(p.Remote) {
+		spare = p.Remote[:n+1][n].Sites[:0]
+	}
 	p.Remote = append(p.Remote, RemoteLeg{})
 	copy(p.Remote[i+1:], p.Remote[i:])
-	p.Remote[i] = RemoteLeg{FromGrid: from.Grid, SizeMB: sizeMB, Files: 1, Time: cost, Sites: []Site{from}}
+	p.Remote[i] = RemoteLeg{FromGrid: from.Grid, SizeMB: sizeMB, Files: 1, Time: cost, Sites: append(spare, from)}
 }

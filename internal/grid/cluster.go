@@ -32,6 +32,10 @@ type cluster struct {
 	// replica source dark at leg start or dying mid-fetch (each round
 	// re-plans against the surviving replicas after sim-time backoff).
 	restages uint64
+	// bgHorizon is the stop instant of the background load generator
+	// (carried here so the arrival chain runs through package functions
+	// instead of a recursive closure).
+	bgHorizon time.Duration
 }
 
 func newCluster(g *Grid, cfg ClusterConfig, rnd *rng.Source) *cluster {
@@ -91,20 +95,32 @@ func (c *cluster) fetchEstimate(inputs []string) float64 {
 	return p.RemoteTime.Seconds()
 }
 
-// enqueue places a job attempt in the batch queue. finished(failed) is
-// called when the attempt ends.
-func (c *cluster) enqueue(rec *JobRecord, finished func(failed bool)) {
-	rec.Status = StatusQueued
-	c.nodes.Acquire(func() {
-		c.fgJobs++
-		rec.Status = StatusRunning
-		rec.Started = c.g.Eng.Now()
-		// LRMS dispatch overhead between node grant and process start.
-		dispatch := c.g.drawLogNormal(c.g.cfg.Overheads.DispatchMean, c.g.cfg.Overheads.DispatchSD)
-		c.g.Eng.Schedule(dispatch, func() {
-			c.stageIn(rec, finished)
-		})
-	})
+// enqueue places a job attempt in the batch queue. The attempt's
+// subsequent lifecycle runs through package-level functions carrying the
+// job's run, so queueing, dispatch, staging, and compute schedule without
+// allocating per-event closures.
+func (c *cluster) enqueue(run *jobRun) {
+	run.rec.Status = StatusQueued
+	c.nodes.AcquireArg(nodeGranted, run)
+}
+
+// nodeGranted runs when a worker node is granted: the LRMS dispatch
+// overhead between node grant and process start begins.
+func nodeGranted(x any) {
+	run := x.(*jobRun)
+	c := run.c
+	c.fgJobs++
+	run.rec.Status = StatusRunning
+	run.rec.Started = c.g.Eng.Now()
+	dispatch := c.g.drawLogNormal(c.g.cfg.Overheads.DispatchMean, c.g.cfg.Overheads.DispatchSD)
+	c.g.Eng.ScheduleArg(dispatch, dispatchDone, run)
+}
+
+// dispatchDone runs when the LRMS dispatch overhead elapses: input staging
+// starts on the worker node.
+func dispatchDone(x any) {
+	run := x.(*jobRun)
+	run.c.stageIn(run)
 }
 
 // stageIn transfers the job's input files from the storage elements, then
@@ -122,48 +138,51 @@ func (c *cluster) enqueue(rec *JobRecord, finished func(failed bool)) {
 // WANWait. When the plan has no remote class, the event schedule is
 // bit-identical to the pre-locality one (no extra event is inserted), the
 // backwards-compatibility invariant the single-grid goldens pin.
-func (c *cluster) stageIn(rec *JobRecord, finished func(failed bool)) {
+func (c *cluster) stageIn(run *jobRun) {
 	if c.g.down {
 		// The grid went dark while the attempt was being dispatched: it
 		// fails before touching storage, like any stage-in failure.
 		c.fgFailed++
-		c.release(rec, true, finished)
+		c.release(run, true)
 		return
 	}
-	c.stageAttempt(rec, 0, finished)
+	run.tries = 0
+	c.stageAttempt(run)
 }
 
 // stageAttempt runs one re-staging round: re-plan against the replicas
-// live right now, then fetch. tries counts the rounds already failed by
-// this attempt; a retryable storage failure (source dark at leg start,
+// live right now, then fetch. run.tries counts the rounds already failed
+// by this attempt; a retryable storage failure (source dark at leg start,
 // source dying mid-fetch, or no live replica of an input at all) hands
 // off to stageRetry, which backs off in sim time and re-plans, up to
 // Config.StageRetries rounds.
-func (c *cluster) stageAttempt(rec *JobRecord, tries int, finished func(failed bool)) {
+func (c *cluster) stageAttempt(run *jobRun) {
 	cat := c.g.catalog
+	rec := run.rec
 	if len(rec.Spec.Inputs) > 0 && cat.SiteDark(c.site) {
 		// The close SE every input must land on is dark: nothing can be
 		// staged here. Fail the attempt plainly (no terminal error) —
 		// resubmission redraws the cluster, and a federation can move the
 		// job off a storage-dark grid entirely.
 		c.fgFailed++
-		c.release(rec, true, finished)
+		c.release(run, true)
 		return
 	}
-	plan := cat.stagePlan(rec.Spec.Inputs, c.site)
+	cat.stagePlanInto(&run.plan, rec.Spec.Inputs, c.site)
+	plan := &run.plan
 	if plan.Missing != "" {
 		// A stage-in failure is a failed attempt like any other and
 		// must show up in the per-cluster failure accounting.
 		c.fgFailed++
 		rec.Err = &FileError{Job: rec.Spec.Name, File: plan.Missing, Err: ErrNoSuchFile}
-		c.release(rec, true, finished)
+		c.release(run, true)
 		return
 	}
 	if plan.Unavailable != "" {
 		// Registered but no live replica anywhere: transient by default
 		// (an SE outage may end), terminal ErrReplicaLost if it persists
 		// through the whole retry budget.
-		c.stageRetry(rec, tries, plan.Unavailable, finished)
+		c.stageRetry(run, plan.Unavailable)
 		return
 	}
 	rec.LocalInMB, rec.RemoteInMB = plan.LocalMB, plan.RemoteMB
@@ -173,24 +192,17 @@ func (c *cluster) stageAttempt(rec *JobRecord, tries int, finished func(failed b
 	// starts its wait accounting over, so the observed/nominal stretch
 	// telemetry compares like with like.
 	rec.WANFetch, rec.WANWait = 0, 0
-	local := func() {
-		c.transfer(plan.LocalMB, plan.LocalFiles, func() {
-			rec.InputDone = c.g.Eng.Now()
-			c.compute(rec, finished)
-		})
-	}
 	if plan.RemoteFiles == 0 {
-		local()
+		c.stageLocal(run)
 		return
 	}
 	c.remoteMB += plan.RemoteMB
 	c.remoteFetches += uint64(plan.RemoteFiles)
-	fab := cat.Fabric()
-	if fab == nil && !cat.storageActive() {
+	if cat.Fabric() == nil && !cat.storageActive() {
 		// Location-aware but storage-passive configuration: the whole
 		// remote class stays one pure delay — the exact event the
 		// pre-storage model scheduled, which the goldens pin.
-		c.g.Eng.Schedule(plan.RemoteTime, local)
+		c.g.Eng.ScheduleArg(plan.RemoteTime, remoteDelayDone, run)
 		return
 	}
 	// Contended path: the legs run in plan order (lexical source grid),
@@ -205,115 +217,180 @@ func (c *cluster) stageAttempt(rec *JobRecord, tries int, finished func(failed b
 	// leg start (a source that went dark since planning serves nothing)
 	// and at leg completion (a source dying mid-fetch truncates the
 	// transfer) — and either failure re-stages from the survivors.
-	leg := 0
-	var next func()
-	next = func() {
-		if leg == len(plan.Remote) {
-			local()
-			return
-		}
-		l := plan.Remote[leg]
-		leg++
-		if cat.legDark(l) {
-			c.stageRetry(rec, tries, "", finished)
-			return
-		}
-		after := func() {
-			if cat.legDark(l) {
-				c.stageRetry(rec, tries, "", finished)
-				return
-			}
-			next()
-		}
-		if fab == nil || l.FromGrid == c.site.Grid {
-			c.g.Eng.Schedule(l.Time, after)
-			return
-		}
-		rec.WANFetch += l.Time
-		fab.Channel(l.FromGrid, c.site.Grid).UseWait(l.Time, func(waited sim.Time) {
-			rec.WANWait += time.Duration(waited)
-			c.wanWait += time.Duration(waited)
-			after()
-		})
-	}
-	next()
+	run.leg = 0
+	c.legNext(run)
 }
 
-// stageRetry handles a retryable storage failure of round tries: back off
-// in sim time (Config.StageRetryBackoff doubling per round, the node held
-// throughout like a real wrapper's retry loop) and re-plan, or — once the
-// Config.StageRetries budget is spent — fail the attempt. file names the
-// input that had no live replica at planning time; when the exhausted
+// remoteDelayDone runs when the storage-passive remote class's pure delay
+// elapses: the close-SE (local class) transfer starts.
+func remoteDelayDone(x any) {
+	run := x.(*jobRun)
+	run.c.stageLocal(run)
+}
+
+// stageLocal moves the plan's local class over the close-SE link and
+// proceeds to compute — the tail of every stage-in.
+func (c *cluster) stageLocal(run *jobRun) {
+	c.transferRun(run.plan.LocalMB, run.plan.LocalFiles, localInDone, run)
+}
+
+// localInDone runs when the close-SE transfer of the input's local class
+// completes: staging is over and the compute phase starts.
+func localInDone(x any, _ sim.Time) {
+	run := x.(*jobRun)
+	run.rec.InputDone = run.c.g.Eng.Now()
+	run.c.compute(run)
+}
+
+// legNext starts the next remote leg of the contended stage-in walk, or —
+// legs exhausted — the local class.
+func (c *cluster) legNext(run *jobRun) {
+	plan := &run.plan
+	if run.leg == len(plan.Remote) {
+		c.stageLocal(run)
+		return
+	}
+	l := &plan.Remote[run.leg]
+	run.leg++
+	cat := c.g.catalog
+	if cat.legDark(*l) {
+		c.stageRetry(run, "")
+		return
+	}
+	if cat.Fabric() == nil || l.FromGrid == c.site.Grid {
+		c.g.Eng.ScheduleArg(l.Time, legDelayDone, run)
+		return
+	}
+	run.rec.WANFetch += l.Time
+	cat.Fabric().Channel(l.FromGrid, c.site.Grid).UseWaitArg(l.Time, legFabricDone, run)
+}
+
+// legDelayDone runs when an uncontended (intra-grid or fabric-less) leg's
+// pure delay elapses.
+func legDelayDone(x any) {
+	run := x.(*jobRun)
+	run.c.legAfter(run)
+}
+
+// legFabricDone runs when a cross-grid leg's channel hold completes: the
+// queueing wait is accounted before the liveness re-check, exactly as the
+// closure-based walk did.
+func legFabricDone(x any, waited sim.Time) {
+	run := x.(*jobRun)
+	run.rec.WANWait += time.Duration(waited)
+	run.c.wanWait += time.Duration(waited)
+	run.c.legAfter(run)
+}
+
+// legAfter finishes one leg: re-check the just-fetched leg's sources (a
+// source dying mid-fetch truncates the transfer, forcing a re-stage) and
+// move on.
+func (c *cluster) legAfter(run *jobRun) {
+	l := run.plan.Remote[run.leg-1]
+	if c.g.catalog.legDark(l) {
+		c.stageRetry(run, "")
+		return
+	}
+	c.legNext(run)
+}
+
+// stageRetry handles a retryable storage failure of round run.tries: back
+// off in sim time (Config.StageRetryBackoff doubling per round, the node
+// held throughout like a real wrapper's retry loop) and re-plan, or — once
+// the Config.StageRetries budget is spent — fail the attempt. file names
+// the input that had no live replica at planning time; when the exhausted
 // failure is such a planning failure the attempt fails terminally with
 // ErrReplicaLost (every copy stayed unreachable through the whole
 // budget), while a leg-level failure exhausting the budget stays a plain
 // attempt failure: the job re-plans on resubmission, where surviving
 // replicas may serve it.
-func (c *cluster) stageRetry(rec *JobRecord, tries int, file string, finished func(failed bool)) {
-	if tries >= c.g.stageRetries() {
+func (c *cluster) stageRetry(run *jobRun, file string) {
+	if run.tries >= c.g.stageRetries() {
 		c.fgFailed++
 		if file != "" {
-			rec.Err = &FileError{Job: rec.Spec.Name, File: file, Err: ErrReplicaLost}
+			run.rec.Err = &FileError{Job: run.rec.Spec.Name, File: file, Err: ErrReplicaLost}
 		}
-		c.release(rec, true, finished)
+		c.release(run, true)
 		return
 	}
 	c.restages++
-	rec.Restages++
-	backoff := c.g.stageBackoff() << uint(tries)
-	c.g.Eng.Schedule(backoff, func() {
-		if c.g.down {
-			c.fgFailed++
-			c.release(rec, true, finished)
-			return
-		}
-		c.stageAttempt(rec, tries+1, finished)
-	})
+	run.rec.Restages++
+	backoff := c.g.stageBackoff() << uint(run.tries)
+	run.tries++
+	c.g.Eng.ScheduleArg(backoff, retryWake, run)
 }
 
-func (c *cluster) compute(rec *JobRecord, finished func(failed bool)) {
+// retryWake runs when a re-staging backoff elapses: re-check the grid (it
+// may have gone dark during the backoff) and re-plan.
+func retryWake(x any) {
+	run := x.(*jobRun)
+	c := run.c
+	if c.g.down {
+		c.fgFailed++
+		c.release(run, true)
+		return
+	}
+	c.stageAttempt(run)
+}
+
+func (c *cluster) compute(run *jobRun) {
 	speed := c.rnd.Uniform(c.cfg.MinSpeed, c.cfg.MaxSpeed)
-	runtime := time.Duration(float64(rec.Spec.Runtime) / speed)
+	runtime := time.Duration(float64(run.rec.Spec.Runtime) / speed)
 
 	if c.rnd.Bernoulli(c.g.cfg.Failures.Probability) {
 		// The attempt dies partway through; the middleware notices only
 		// after a detection delay.
 		c.fgFailed++
 		elapsed := time.Duration(c.rnd.Float64() * float64(runtime))
-		c.g.Eng.Schedule(elapsed+c.g.cfg.Failures.DetectDelay, func() {
-			c.release(rec, true, finished)
-		})
+		c.g.Eng.ScheduleArg(elapsed+c.g.cfg.Failures.DetectDelay, computeFailed, run)
 		return
 	}
-	c.g.Eng.Schedule(runtime, func() {
-		var outMB float64
-		for _, out := range rec.Spec.Outputs {
-			outMB += out.SizeMB
-		}
-		c.transfer(outMB, len(rec.Spec.Outputs), func() {
-			c.release(rec, false, finished)
-		})
-	})
+	c.g.Eng.ScheduleArg(runtime, computeDone, run)
 }
 
-// transfer models moving totalMB across the cluster's close-SE link in one
-// stream, paying the fixed per-file latency for each of nFiles files.
-func (c *cluster) transfer(totalMB float64, nFiles int, done func()) {
+// computeFailed runs when a mid-compute failure's detection delay elapses.
+func computeFailed(x any) {
+	run := x.(*jobRun)
+	run.c.release(run, true)
+}
+
+// computeDone runs when the compute phase completes: output staging to the
+// close SE starts.
+func computeDone(x any) {
+	run := x.(*jobRun)
+	c := run.c
+	var outMB float64
+	for _, out := range run.rec.Spec.Outputs {
+		outMB += out.SizeMB
+	}
+	c.transferRun(outMB, len(run.rec.Spec.Outputs), outputsStaged, run)
+}
+
+// outputsStaged runs when the output transfer completes.
+func outputsStaged(x any, _ sim.Time) {
+	run := x.(*jobRun)
+	run.c.release(run, false)
+}
+
+// transferRun models moving totalMB across the cluster's close-SE link in
+// one stream, paying the fixed per-file latency for each of nFiles files.
+// fn(arg, …) runs on completion (immediately for an empty transfer).
+func (c *cluster) transferRun(totalMB float64, nFiles int, fn func(any, sim.Time), arg any) {
 	if totalMB <= 0 && nFiles == 0 {
-		done()
+		fn(arg, 0)
 		return
 	}
 	d := time.Duration(float64(nFiles)) * c.g.cfg.Overheads.TransferLatency
 	if c.cfg.TransferMBps > 0 {
 		d += time.Duration(totalMB / c.cfg.TransferMBps * float64(time.Second))
 	}
-	c.link.Use(d, done)
+	c.link.UseWaitArg(d, fn, arg)
 }
 
-func (c *cluster) release(rec *JobRecord, failed bool, finished func(bool)) {
+func (c *cluster) release(run *jobRun, failed bool) {
 	c.nodes.Release()
 	if !failed && (c.g.down ||
-		(len(rec.Spec.Outputs) > 0 && c.g.catalog.SiteDark(c.site))) {
+		(len(run.rec.Spec.Outputs) > 0 && c.g.catalog.SiteDark(c.site))) {
 		// The attempt finished its work but the grid went dark, or the
 		// close SE its outputs must register on did: settlement will turn
 		// it into a failure (terminal ErrGridDown, or a retryable output
@@ -322,13 +399,14 @@ func (c *cluster) release(rec *JobRecord, failed bool, finished func(bool)) {
 		// already counted themselves at their source).
 		c.fgFailed++
 	}
-	finished(failed)
+	c.g.settle(run, failed)
 }
 
 // startBackground launches the multi-user load generator: Poisson arrivals
 // of foreign jobs holding worker nodes for log-normal durations, stopping
 // at the horizon so event-draining runs terminate.
 func (c *cluster) startBackground(horizon time.Duration) {
+	c.bgHorizon = horizon
 	// Warm start: the grid is already ~utilized when the experiment begins,
 	// like any production infrastructure.
 	expected := float64(c.cfg.BackgroundMeanDur) / float64(c.cfg.BackgroundMeanIAT)
@@ -341,20 +419,29 @@ func (c *cluster) startBackground(horizon time.Duration) {
 		d := time.Duration(c.rnd.Float64() * float64(c.cfg.BackgroundMeanDur))
 		c.occupy(d)
 	}
-	var next func()
-	next = func() {
-		iat := time.Duration(c.rnd.Exponential(float64(c.cfg.BackgroundMeanIAT)))
-		if c.g.Eng.Now()+iat > sim.Time(horizon) {
-			return
-		}
-		c.g.Eng.Schedule(iat, func() {
-			d := time.Duration(c.rnd.LogNormalMeanSD(
-				float64(c.cfg.BackgroundMeanDur), float64(c.cfg.BackgroundSDDur)))
-			c.occupy(d)
-			next()
-		})
+	c.bgNext()
+}
+
+// bgNext draws the next background inter-arrival time and schedules the
+// arrival, unless it would land past the horizon. The arrival chain runs
+// through package functions carrying the cluster, so the steady-state
+// generator allocates nothing.
+func (c *cluster) bgNext() {
+	iat := time.Duration(c.rnd.Exponential(float64(c.cfg.BackgroundMeanIAT)))
+	if c.g.Eng.Now()+iat > sim.Time(c.bgHorizon) {
+		return
 	}
-	next()
+	c.g.Eng.ScheduleArg(iat, bgArrive, c)
+}
+
+// bgArrive runs at one background arrival: draw the job's duration, hold a
+// node for it, and schedule the next arrival.
+func bgArrive(x any) {
+	c := x.(*cluster)
+	d := time.Duration(c.rnd.LogNormalMeanSD(
+		float64(c.cfg.BackgroundMeanDur), float64(c.cfg.BackgroundSDDur)))
+	c.occupy(d)
+	c.bgNext()
 }
 
 func (c *cluster) occupy(d time.Duration) {

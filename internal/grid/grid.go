@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/arena"
 	"repro/internal/rng"
 	"repro/internal/sim"
 )
@@ -220,6 +221,14 @@ type Grid struct {
 	records  []*JobRecord
 	nextID   int
 	tenants  map[string]*Tenant
+
+	// recs arena-allocates the job records (chunked, so records stay
+	// valid for the grid's lifetime without one heap object per job);
+	// runs arena-allocates the pooled lifecycle contexts, recycled
+	// through freeRuns at terminal settlement.
+	recs     arena.Chunked[JobRecord]
+	runs     arena.Chunked[jobRun]
+	freeRuns []*jobRun
 
 	// Fair-share submission gate in front of the serialized UI: one queue
 	// per tenant, drained round-robin (see pumpSubmits).

@@ -8,6 +8,54 @@ import (
 	"repro/internal/sim"
 )
 
+// jobRun is the pooled lifecycle context of one job: everything the
+// submission → broker → queue → stage-in → compute → settle chain needs
+// to carry between events. The chain advances through package-level
+// functions dispatched with Engine.ScheduleArg / Resource.AcquireArg, so
+// a job's whole lifecycle schedules without allocating closures; the run
+// itself is arena-allocated and recycled at settlement, and its StagePlan
+// scratch (including the remote legs' backing arrays) is reused across
+// re-staging rounds, attempts, and — once recycled — other jobs.
+type jobRun struct {
+	g   *Grid
+	c   *cluster // cluster of the current attempt
+	rec *JobRecord
+	// done is the caller's completion callback, invoked exactly once at
+	// the terminal settlement.
+	done func(*JobRecord)
+	// tries counts the re-staging rounds already failed by the current
+	// attempt (reset at each stage-in).
+	tries int
+	// leg indexes the next remote leg of the contended stage-in walk.
+	leg int
+	// plan is the owned stage-plan scratch of the current attempt.
+	plan StagePlan
+}
+
+// newRun returns a recycled (or arena-fresh) jobRun bound to this grid.
+func (g *Grid) newRun(rec *JobRecord, done func(*JobRecord)) *jobRun {
+	var run *jobRun
+	if n := len(g.freeRuns); n > 0 {
+		run = g.freeRuns[n-1]
+		g.freeRuns[n-1] = nil
+		g.freeRuns = g.freeRuns[:n-1]
+	} else {
+		run = g.runs.New()
+		run.g = g
+	}
+	run.rec, run.done = rec, done
+	return run
+}
+
+// putRun recycles a settled run: callback and record references are
+// dropped (so completed jobs are not retained by the pool), while the
+// stage-plan backing arrays stay for the next job.
+func (g *Grid) putRun(run *jobRun) {
+	run.c, run.rec, run.done = nil, nil, nil
+	run.tries, run.leg = 0, 0
+	g.freeRuns = append(g.freeRuns, run)
+}
+
 // FileDecl declares an output file a job will produce and register.
 type FileDecl struct {
 	Name   string
@@ -169,8 +217,7 @@ func (g *Grid) Submit(spec JobSpec, done func(*JobRecord)) *JobRecord {
 // pendingSubmit is one submission waiting at the fair-share gate in front
 // of the serialized UI.
 type pendingSubmit struct {
-	rec  *JobRecord
-	done func(*JobRecord)
+	run *jobRun
 }
 
 // submitQueue is a FIFO of pending submissions with O(1) pops: a head
@@ -208,7 +255,8 @@ func (g *Grid) submit(tenant string, spec JobSpec, done func(*JobRecord)) *JobRe
 	if done == nil {
 		panic("grid: Submit with nil completion callback")
 	}
-	rec := &JobRecord{
+	rec := g.recs.New()
+	*rec = JobRecord{
 		ID:        g.nextID,
 		Tenant:    tenant,
 		Grid:      g.cfg.Name,
@@ -227,7 +275,7 @@ func (g *Grid) submit(tenant string, spec JobSpec, done func(*JobRecord)) *JobRe
 		g.subQueues[tenant] = q
 		g.subRing = append(g.subRing, tenant)
 	}
-	q.push(pendingSubmit{rec, done})
+	q.push(pendingSubmit{g.newRun(rec, done)})
 	g.subPending++
 	g.pumpSubmits()
 	return rec
@@ -252,8 +300,8 @@ func (g *Grid) pumpSubmits() {
 	if g.cfg.StrictFIFOSubmit {
 		bestID := -1
 		for i, tn := range g.subRing {
-			if q := g.subQueues[tn]; q.len() > 0 && (bestID < 0 || q.peek().rec.ID < bestID) {
-				bestID, pick = q.peek().rec.ID, i
+			if q := g.subQueues[tn]; q.len() > 0 && (bestID < 0 || q.peek().run.rec.ID < bestID) {
+				bestID, pick = q.peek().run.rec.ID, i
 			}
 		}
 	} else {
@@ -294,25 +342,30 @@ func (g *Grid) pumpSubmits() {
 		}
 		d = time.Duration(float64(d) * mult)
 	}
-	rec, done := ps.rec, ps.done
-	g.Eng.Schedule(d, func() {
-		g.subPending--
-		g.uiBusy = false
-		if g.down {
-			// The UI is dark: the submission times out after its latency
-			// and fails terminally on this grid. It still counts as an
-			// attempt — overhead statistics derive resubmission counts
-			// from Attempts-1, which must never go negative.
-			rec.Attempts++
-			g.settle(rec, true, done)
-			g.pumpSubmits()
-			return
-		}
-		rec.Status = StatusAccepted
-		rec.Accepted = g.Eng.Now()
-		g.match(rec, done)
+	g.Eng.ScheduleArg(d, uiLatencyPaid, ps.run)
+}
+
+// uiLatencyPaid runs when a submission's serialized UI latency elapses:
+// the UI either forwards the job to the broker or — dark — fails it.
+func uiLatencyPaid(x any) {
+	run := x.(*jobRun)
+	g := run.g
+	g.subPending--
+	g.uiBusy = false
+	if g.down {
+		// The UI is dark: the submission times out after its latency
+		// and fails terminally on this grid. It still counts as an
+		// attempt — overhead statistics derive resubmission counts
+		// from Attempts-1, which must never go negative.
+		run.rec.Attempts++
+		g.settle(run, true)
 		g.pumpSubmits()
-	})
+		return
+	}
+	run.rec.Status = StatusAccepted
+	run.rec.Accepted = g.Eng.Now()
+	g.match(run)
+	g.pumpSubmits()
 }
 
 // PendingSubmits reports how many submissions have been accepted by the
@@ -321,24 +374,37 @@ func (g *Grid) pumpSubmits() {
 func (g *Grid) PendingSubmits() int { return g.subPending }
 
 // match sends the job through the Resource Broker and on to a cluster.
-func (g *Grid) match(rec *JobRecord, done func(*JobRecord)) {
-	rec.Attempts++
-	g.broker.Acquire(func() {
-		g.Eng.Schedule(g.drawLogNormal(g.cfg.Overheads.BrokerMean, g.cfg.Overheads.BrokerSD), func() {
-			g.broker.Release()
-			if g.down {
-				g.settle(rec, true, done)
-				return
-			}
-			c := g.pickCluster(rec.Spec.Inputs)
-			rec.Status = StatusMatched
-			rec.Matched = g.Eng.Now()
-			rec.Cluster = c.cfg.Name
-			c.enqueue(rec, func(failed bool) {
-				g.settle(rec, failed, done)
-			})
-		})
-	})
+func (g *Grid) match(run *jobRun) {
+	run.rec.Attempts++
+	g.broker.AcquireArg(brokerGranted, run)
+}
+
+// brokerGranted runs when a Resource Broker slot is granted: the
+// matchmaking latency starts.
+func brokerGranted(x any) {
+	run := x.(*jobRun)
+	g := run.g
+	g.Eng.ScheduleArg(g.drawLogNormal(g.cfg.Overheads.BrokerMean, g.cfg.Overheads.BrokerSD),
+		brokerDone, run)
+}
+
+// brokerDone runs when matchmaking completes: the broker slot is
+// released and the job is enqueued on the picked cluster (or fails, if
+// the grid went dark meanwhile).
+func brokerDone(x any) {
+	run := x.(*jobRun)
+	g := run.g
+	g.broker.Release()
+	if g.down {
+		g.settle(run, true)
+		return
+	}
+	c := g.pickCluster(run.rec.Spec.Inputs)
+	run.rec.Status = StatusMatched
+	run.rec.Matched = g.Eng.Now()
+	run.rec.Cluster = c.cfg.Name
+	run.c = c
+	c.enqueue(run)
 }
 
 // settle finalizes an attempt: success completes the job, failure
@@ -346,14 +412,15 @@ func (g *Grid) match(rec *JobRecord, done func(*JobRecord)) {
 // every settlement is a terminal ErrGridDown failure: a completed
 // attempt's results are lost (its outputs are not registered) and a
 // failed one cannot be locally resubmitted.
-func (g *Grid) settle(rec *JobRecord, failed bool, done func(*JobRecord)) {
+func (g *Grid) settle(run *jobRun, failed bool) {
+	rec := run.rec
 	if g.down {
 		if rec.Err == nil {
 			rec.Err = ErrGridDown
 		}
 		rec.Status = StatusFailed
 		rec.Completed = g.Eng.Now()
-		done(rec)
+		g.finish(run)
 		return
 	}
 	if !failed && len(rec.Spec.Outputs) > 0 &&
@@ -376,7 +443,7 @@ func (g *Grid) settle(rec *JobRecord, failed bool, done func(*JobRecord)) {
 		for _, out := range rec.Spec.Outputs {
 			g.catalog.RegisterAt(out.Name, out.SizeMB, site)
 		}
-		done(rec)
+		g.finish(run)
 		return
 	}
 	if rec.Err == nil && rec.Attempts >= g.cfg.Failures.MaxRetries {
@@ -385,11 +452,20 @@ func (g *Grid) settle(rec *JobRecord, failed bool, done func(*JobRecord)) {
 	if rec.Err != nil {
 		rec.Status = StatusFailed
 		rec.Completed = g.Eng.Now()
-		done(rec)
+		g.finish(run)
 		return
 	}
 	// Transparent resubmission, as the generic wrapper performs it.
-	g.match(rec, done)
+	g.match(run)
+}
+
+// finish delivers the terminal settlement: the run is recycled first (it
+// carries nothing the callback needs beyond the record), then the
+// caller's completion callback fires exactly once.
+func (g *Grid) finish(run *jobRun) {
+	rec, done := run.rec, run.done
+	g.putRun(run)
+	done(rec)
 }
 
 // pickCluster ranks computing elements the way the LCG2 broker does: by
@@ -403,16 +479,18 @@ func (g *Grid) settle(rec *JobRecord, failed bool, done func(*JobRecord)) {
 // configuration pays nothing for the feature on this hot path.
 func (g *Grid) pickCluster(inputs []string) *cluster {
 	proximity := g.cfg.DataProximityWeight > 0 && len(inputs) > 0 && !g.catalog.AllLocal()
-	fetch := func(c *cluster) float64 {
-		if !proximity {
-			return 0
-		}
-		return c.fetchEstimate(inputs)
-	}
 	best := g.clusters[0]
-	bestRank := best.rank(g.rnd.Uniform(0.7, 1.3), fetch(best))
+	fetch := 0.0
+	if proximity {
+		fetch = best.fetchEstimate(inputs)
+	}
+	bestRank := best.rank(g.rnd.Uniform(0.7, 1.3), fetch)
 	for _, c := range g.clusters[1:] {
-		if r := c.rank(g.rnd.Uniform(0.7, 1.3), fetch(c)); r < bestRank {
+		fetch = 0
+		if proximity {
+			fetch = c.fetchEstimate(inputs)
+		}
+		if r := c.rank(g.rnd.Uniform(0.7, 1.3), fetch); r < bestRank {
 			best, bestRank = c, r
 		}
 	}

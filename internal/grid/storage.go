@@ -474,6 +474,19 @@ func (c *Catalog) LiveReplicas(name string) []Replica {
 	return out
 }
 
+// SEUsedMB returns the resident bytes of the site's configured storage
+// element, or zero when the site has no element (passive, unlimited
+// storage). It is the cheap point query behind capacity-aware placement
+// decisions — repair targeting reads it per candidate grid without
+// materializing the full SEStats slice.
+func (c *Catalog) SEUsedMB(site Site) float64 {
+	se, ok := c.storage[site.key()]
+	if !ok {
+		return 0
+	}
+	return se.gauge.Level()
+}
+
 // SEStats returns per-element statistics for every configured storage
 // element, in deterministic site order.
 func (c *Catalog) SEStats() []SEStat {

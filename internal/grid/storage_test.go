@@ -65,6 +65,7 @@ func TestEvictionPolicyProperty(t *testing.T) {
 	} {
 		t.Run(tc.policy.Name(), func(t *testing.T) {
 			var now sim.Time
+			var plan StagePlan
 			c := newStorageCatalog(&now)
 			c.RegisterAt("hot", fileMB, sA)
 			c.AddReplica("hot", sB)
@@ -73,7 +74,7 @@ func TestEvictionPolicyProperty(t *testing.T) {
 			// The hot head: ten fetches at distinct instants.
 			for i := 0; i < 10; i++ {
 				now += sim.Time(time.Second)
-				c.stagePlan([]string{"hot"}, sA)
+				c.stagePlanInto(&plan, []string{"hot"}, sA)
 			}
 			// The cold tail: each file registered, safety-copied, and
 			// fetched once, at ever-later instants. Registration at sA
@@ -84,7 +85,7 @@ func TestEvictionPolicyProperty(t *testing.T) {
 				now += sim.Time(time.Second)
 				c.RegisterAt(tail[i], fileMB, sA)
 				c.AddReplica(tail[i], sB)
-				c.stagePlan([]string{tail[i]}, sA)
+				c.stagePlanInto(&plan, []string{tail[i]}, sA)
 			}
 
 			if got := hasReplicaAt(c, "hot", sA); got == tc.wantHotEvict {

@@ -23,6 +23,20 @@ func libraryPaths(t *testing.T) []string {
 	return paths
 }
 
+// scaleSpec reports whether a spec belongs to the scale tier of the
+// library — tens of thousands of jobs, seconds of wall time per run.
+// Scale specs keep the full two-run determinism golden in the default
+// suite, but are skipped in short mode and under the race detector: the
+// campaign path they exercise is single-goroutine, so racing them buys
+// no coverage the small specs don't already provide, at ~100s a spec.
+func scaleSpec(spec *Spec) bool {
+	jobs := 0
+	for _, g := range spec.Tenants {
+		jobs += g.Count * g.Workload.Stages * g.Workload.Items
+	}
+	return jobs >= 50000
+}
+
 // runLibrarySpec loads, compiles and runs one library spec on a fresh
 // engine, failing on any tenant error, and returns the run fingerprint.
 func runLibrarySpec(t *testing.T, path string) uint64 {
@@ -30,6 +44,14 @@ func runLibrarySpec(t *testing.T, path string) uint64 {
 	spec, err := Load(path)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if scaleSpec(spec) {
+		if testing.Short() {
+			t.Skip("scale spec skipped in short mode")
+		}
+		if raceEnabled {
+			t.Skip("scale spec skipped under the race detector (single-goroutine path, covered by small specs)")
+		}
 	}
 	eng := sim.NewEngine()
 	w, err := Compile(eng, spec)

@@ -1,0 +1,7 @@
+//go:build !race
+
+package scenario
+
+// raceEnabled reports that this test binary was built without the race
+// detector; scale-tier specs run their full two-pass determinism golden.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package scenario
+
+// raceEnabled reports that this test binary was built with the race
+// detector, so the golden gate can skip scale-tier specs whose
+// single-goroutine runs would pay the ~6x race tax for no coverage.
+const raceEnabled = true

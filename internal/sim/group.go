@@ -1,0 +1,99 @@
+package sim
+
+import "sync"
+
+// Group runs one main engine and a set of shard engines in windowed
+// lockstep — the conservative parallel-discrete-event coordinator behind
+// the federation's per-grid event loops.
+//
+// The construction contract: every cross-shard interaction happens
+// through events on the main engine (brokering points — submission
+// waves, policy picks, dispatches), while each shard engine carries one
+// partition's internal events (UI latency, matchmaking, queueing,
+// staging, compute). Events scheduled on a shard stay on that shard, so
+// between two consecutive main-engine instants the shards are mutually
+// independent and may run concurrently.
+//
+// Run repeats: find the earliest pending main instant t (the next
+// barrier), let every shard fire all of its events strictly before t on
+// its own goroutine, join, then drain the main engine's batch at t
+// (which may inspect and schedule onto the quiesced shards). Once the
+// main engine drains empty, the shards run to completion in parallel.
+//
+// Determinism: each shard is itself a deterministic engine, and shards
+// never interact inside a window, so the merge order is fixed by the
+// barrier schedule alone — lowest timestamp first, and at a shared
+// instant the main engine's events (scheduled earlier, at setup or a
+// previous barrier) fire before shard events at that instant, exactly
+// the schedule-order tie-break a single serial engine would apply.
+// A serial run of the same construction (Workers=1, or calling the same
+// loop without goroutines) is therefore bit-identical to a parallel one.
+type Group struct {
+	// Main is the engine carrying the cross-shard (global) events.
+	Main *Engine
+	// Shards are the partition engines, run concurrently between
+	// consecutive Main instants.
+	Shards []*Engine
+	// PreWindow, when non-nil, runs right before the shards' goroutines
+	// launch; PostWindow right after they join. The federation uses the
+	// pair to arm its no-cross-shard-submission guard during windows.
+	PreWindow  func()
+	PostWindow func()
+	// Serial forces the shard windows to run sequentially on the calling
+	// goroutine (in shard order) instead of concurrently. The event
+	// outcome is identical either way — it exists for A/B measurement
+	// and for debugging with clean stacks.
+	Serial bool
+}
+
+// Run executes the group to completion: windows of parallel shard
+// progress separated by the main engine's barrier instants.
+func (g *Group) Run() {
+	for {
+		t, ok := g.Main.NextAt()
+		if !ok {
+			g.window(0, false)
+			return
+		}
+		g.window(t, true)
+		g.Main.RunUntil(t)
+	}
+}
+
+// window advances every shard — up to (but excluding) the barrier
+// instant when bounded, to completion otherwise — concurrently unless
+// the group is serial.
+func (g *Group) window(barrier Time, bounded bool) {
+	if g.PreWindow != nil {
+		g.PreWindow()
+	}
+	if g.Serial {
+		for _, s := range g.Shards {
+			runShard(s, barrier, bounded)
+		}
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(len(g.Shards))
+		for _, s := range g.Shards {
+			go func(s *Engine) {
+				defer wg.Done()
+				runShard(s, barrier, bounded)
+			}(s)
+		}
+		wg.Wait()
+	}
+	if g.PostWindow != nil {
+		g.PostWindow()
+	}
+}
+
+// runShard drains one shard's window: all events strictly before the
+// barrier (advancing the shard clock to the barrier), or every remaining
+// event when the run is unbounded.
+func runShard(s *Engine, barrier Time, bounded bool) {
+	if bounded {
+		s.RunBefore(barrier)
+		return
+	}
+	s.Run()
+}

@@ -8,14 +8,42 @@ package sim
 // callback runs (in virtual time). The holder must call Release exactly once
 // when done. For the common hold-for-a-duration pattern, Use wraps
 // Acquire/Schedule/Release.
+//
+// The Arg variants (AcquireArg, UseWaitArg) mirror Engine.ScheduleArg:
+// callers pass a static function plus a pointer-shaped argument instead of
+// a fresh closure, and the hold-for-a-duration machinery recycles its
+// per-hold bookkeeping through a free list, so steady-state resource use
+// allocates nothing.
 type Resource struct {
-	eng      *Engine
-	capacity int
-	busy     int
-	queue    []func()
-	peakBusy int
-	peakWait int
-	grants   uint64
+	eng       *Engine
+	capacity  int
+	busy      int
+	queue     []waiter
+	peakBusy  int
+	peakWait  int
+	grants    uint64
+	freeHolds []*hold
+}
+
+// waiter is one queued acquisition: either a plain callback or a static
+// function plus argument.
+type waiter struct {
+	fn  func()
+	afn func(any)
+	arg any
+}
+
+// hold is the recycled bookkeeping of one Use/UseWait hold: the slot wait
+// start, the hold duration, and the completion callback. It cycles
+// acquire → schedule → release through package-level functions, so the
+// whole hold costs zero allocations once the resource's free list is warm.
+type hold struct {
+	r      *Resource
+	start  Time
+	waited Time
+	d      Time
+	afn    func(any, Time)
+	arg    any
 }
 
 // NewResource returns a resource with the given number of slots on the
@@ -52,23 +80,41 @@ func (r *Resource) Acquire(granted func()) {
 	if granted == nil {
 		panic("sim: Acquire with nil callback")
 	}
+	r.acquire(waiter{fn: granted})
+}
+
+// AcquireArg is Acquire for argument-passing callbacks: granted(arg) runs
+// as soon as a slot is available. The holder must call Release exactly
+// once afterwards.
+func (r *Resource) AcquireArg(granted func(any), arg any) {
+	if granted == nil {
+		panic("sim: AcquireArg with nil callback")
+	}
+	r.acquire(waiter{afn: granted, arg: arg})
+}
+
+func (r *Resource) acquire(w waiter) {
 	if r.busy < r.capacity {
-		r.grant(granted)
+		r.grant(w)
 		return
 	}
-	r.queue = append(r.queue, granted)
+	r.queue = append(r.queue, w)
 	if len(r.queue) > r.peakWait {
 		r.peakWait = len(r.queue)
 	}
 }
 
-func (r *Resource) grant(granted func()) {
+func (r *Resource) grant(w waiter) {
 	r.busy++
 	r.grants++
 	if r.busy > r.peakBusy {
 		r.peakBusy = r.busy
 	}
-	granted()
+	if w.afn != nil {
+		w.afn(w.arg)
+		return
+	}
+	w.fn()
 }
 
 // Release returns a slot. If requests are queued, the oldest one is granted
@@ -81,8 +127,9 @@ func (r *Resource) Release() {
 	if len(r.queue) > 0 {
 		next := r.queue[0]
 		// Shift rather than re-slice forever; queues here are short-lived.
-		copy(r.queue, r.queue[1:])
-		r.queue = r.queue[:len(r.queue)-1]
+		n := copy(r.queue, r.queue[1:])
+		r.queue[n] = waiter{}
+		r.queue = r.queue[:n]
 		r.grant(next)
 	}
 }
@@ -91,11 +138,15 @@ func (r *Resource) Release() {
 // (which may be nil). It is the hold-for-a-duration convenience wrapper.
 func (r *Resource) Use(d Time, done func()) {
 	if done == nil {
-		r.UseWait(d, nil)
+		r.UseWaitArg(d, nil, nil)
 		return
 	}
-	r.UseWait(d, func(Time) { done() })
+	r.UseWaitArg(d, useDone, done)
 }
+
+// useDone adapts a Use completion callback to the UseWaitArg shape. The
+// func value is pointer-shaped, so boxing it in the arg slot is free.
+func useDone(arg any, _ Time) { arg.(func())() }
 
 // UseWait is Use with wait-time reporting: it acquires a slot, holds it
 // for d, releases it, and calls done (which may be nil) with the virtual
@@ -104,14 +155,55 @@ func (r *Resource) Use(d Time, done func()) {
 // channels, whose callers account channel congestion separately from the
 // transfer itself.
 func (r *Resource) UseWait(d Time, done func(waited Time)) {
-	start := r.eng.Now()
-	r.Acquire(func() {
-		waited := r.eng.Now() - start
-		r.eng.Schedule(d, func() {
-			r.Release()
-			if done != nil {
-				done(waited)
-			}
-		})
-	})
+	if done == nil {
+		r.UseWaitArg(d, nil, nil)
+		return
+	}
+	r.UseWaitArg(d, useWaitDone, done)
+}
+
+// useWaitDone adapts a UseWait completion callback to the UseWaitArg shape.
+func useWaitDone(arg any, waited Time) { arg.(func(Time))(waited) }
+
+// UseWaitArg is UseWait for argument-passing callbacks: it acquires a
+// slot, holds it for d, releases it, and calls done(arg, waited) — done
+// may be nil — where waited is the virtual time the request spent queued
+// before the grant. The per-hold bookkeeping is recycled through the
+// resource's free list, so a warm hold allocates nothing.
+func (r *Resource) UseWaitArg(d Time, done func(any, Time), arg any) {
+	var h *hold
+	if n := len(r.freeHolds); n > 0 {
+		h = r.freeHolds[n-1]
+		r.freeHolds[n-1] = nil
+		r.freeHolds = r.freeHolds[:n-1]
+	} else {
+		h = &hold{r: r}
+	}
+	h.start = r.eng.Now()
+	h.d = d
+	h.afn, h.arg = done, arg
+	r.acquire(waiter{afn: holdGranted, arg: h})
+}
+
+// holdGranted runs when a hold's slot is granted: it records the queueing
+// wait and schedules the release.
+func holdGranted(x any) {
+	h := x.(*hold)
+	h.waited = h.r.eng.Now() - h.start
+	h.r.eng.ScheduleArg(h.d, holdExpire, h)
+}
+
+// holdExpire runs when a hold's duration elapses: it releases the slot
+// (granting the next waiter within the same instant, exactly as before),
+// recycles the hold, and then calls the completion callback.
+func holdExpire(x any) {
+	h := x.(*hold)
+	r := h.r
+	r.Release()
+	afn, arg, waited := h.afn, h.arg, h.waited
+	h.afn, h.arg = nil, nil
+	r.freeHolds = append(r.freeHolds, h)
+	if afn != nil {
+		afn(arg, waited)
+	}
 }

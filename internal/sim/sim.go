@@ -28,10 +28,16 @@ import (
 type Time = time.Duration
 
 // Event is a scheduled callback. It can be cancelled before it fires.
+// An event carries either a plain callback (Schedule/At) or an
+// argument-passing one (ScheduleArg/AtArg); the latter lets hot paths
+// share one static function across events instead of allocating a new
+// closure per event.
 type Event struct {
 	eng      *Engine
 	at       Time
 	fn       func()
+	afn      func(any)
+	arg      any
 	canceled bool
 	fired    bool
 }
@@ -131,20 +137,49 @@ func (e *Engine) Schedule(delay Time, fn func()) *Event {
 // At arranges for fn to run at the absolute virtual instant t, which must
 // not precede the current time.
 func (e *Engine) At(t Time, fn func()) *Event {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: At(%v) precedes now (%v)", t, e.now))
-	}
 	if fn == nil {
 		panic("sim: At with nil callback")
+	}
+	ev := e.newEvent(t)
+	ev.fn = fn
+	return ev
+}
+
+// ScheduleArg is Schedule for argument-passing callbacks: fn(arg) runs
+// after delay. Because fn can be a package-level function and arg a
+// pointer, hot paths schedule without allocating a closure per event.
+func (e *Engine) ScheduleArg(delay Time, fn func(any), arg any) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: ScheduleArg with negative delay %v", delay))
+	}
+	return e.AtArg(e.now+delay, fn, arg)
+}
+
+// AtArg is At for argument-passing callbacks: fn(arg) runs at the
+// absolute virtual instant t, which must not precede the current time.
+func (e *Engine) AtArg(t Time, fn func(any), arg any) *Event {
+	if fn == nil {
+		panic("sim: AtArg with nil callback")
+	}
+	ev := e.newEvent(t)
+	ev.afn, ev.arg = fn, arg
+	return ev
+}
+
+// newEvent pulls a recycled (or new) event, stamps its instant, and files
+// it in the instant's bucket. The caller fills in the callback.
+func (e *Engine) newEvent(t Time) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: At(%v) precedes now (%v)", t, e.now))
 	}
 	var ev *Event
 	if n := len(e.freeEvents); n > 0 {
 		ev = e.freeEvents[n-1]
 		e.freeEvents[n-1] = nil
 		e.freeEvents = e.freeEvents[:n-1]
-		*ev = Event{eng: e, at: t, fn: fn}
+		*ev = Event{eng: e, at: t}
 	} else {
-		ev = &Event{eng: e, at: t, fn: fn}
+		ev = &Event{eng: e, at: t}
 	}
 	e.live++
 	b, ok := e.byTime[t]
@@ -167,7 +202,7 @@ func (e *Engine) At(t Time, fn func()) *Event {
 // recycle returns a consumed (fired or cancelled-and-collected) event to
 // the free list.
 func (e *Engine) recycle(ev *Event) {
-	ev.fn = nil
+	ev.fn, ev.afn, ev.arg = nil, nil, nil
 	e.freeEvents = append(e.freeEvents, ev)
 }
 
@@ -253,8 +288,13 @@ func (e *Engine) Step() bool {
 		e.fired++
 		e.live--
 		ev.fired = true
-		fn := ev.fn
-		fn()
+		if ev.afn != nil {
+			afn, arg := ev.afn, ev.arg
+			afn(arg)
+		} else {
+			fn := ev.fn
+			fn()
+		}
 		e.recycle(ev)
 		return true
 	}
@@ -271,6 +311,36 @@ func (e *Engine) RunUntil(t Time) {
 	for {
 		ev := e.peek()
 		if ev == nil || ev.at > t {
+			break
+		}
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// NextAt returns the instant of the earliest pending (non-cancelled)
+// event. ok is false when no events remain. The clock does not advance
+// and no bucket is committed to execution, so events scheduled afterwards
+// for earlier instants still fire in order.
+func (e *Engine) NextAt() (t Time, ok bool) {
+	ev := e.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}
+
+// RunBefore fires every event with an instant strictly before t, then
+// advances the clock to t. It is the shard-side window primitive of
+// Group: a shard drains all of its work below the next global barrier
+// instant without observing events at the barrier itself, which belong
+// to the window after the barrier's global batch.
+func (e *Engine) RunBefore(t Time) {
+	for {
+		ev := e.peek()
+		if ev == nil || ev.at >= t {
 			break
 		}
 		e.Step()

@@ -49,6 +49,11 @@ type (
 	Engine = sim.Engine
 	// VirtualTime is an instant of simulated time.
 	VirtualTime = sim.Time
+	// EngineGroup runs shard engines concurrently between the main
+	// engine's instants — the conservative parallel scheme behind
+	// FederationConfig.Parallel (see DESIGN.md, "Parallel per-grid
+	// event loops"). Results are bit-identical to a serial drain.
+	EngineGroup = sim.Group
 )
 
 // NewEngine returns a fresh simulation engine with the clock at zero.
