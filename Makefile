@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint scenarios bench campaign-bench federation-bench locality-bench wan-bench storage-bench scale-bench clean help
+.PHONY: all build test vet lint scenarios daemon-smoke bench campaign-bench federation-bench locality-bench wan-bench storage-bench scale-bench clean help
 
 all: vet lint build test
 
@@ -31,6 +31,31 @@ lint:
 # declarative world compiler.
 scenarios:
 	$(GO) run ./cmd/federation -scenarios 'scenarios/*.json'
+
+# Online broker daemon smoke: boot moteurd on the clean baseline at high
+# warp, submit a job over HTTP, assert /metrics serves the per-grid
+# EWMAs, take a snapshot over HTTP, then SIGTERM and check the final
+# on-disk snapshot landed. Exercises the whole daemon path end to end
+# from outside the process, curl only.
+daemon-smoke:
+	$(GO) build -o bin/moteurd ./cmd/moteurd
+	@set -e; \
+	dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	bin/moteurd -scenario scenarios/clean-baseline.json -warp 100000 \
+		-addr 127.0.0.1:18321 -snapshot-dir "$$dir" -snapshot-every 2s & \
+	pid=$$!; \
+	for i in $$(seq 1 50); do \
+		curl -sf http://127.0.0.1:18321/healthz >/dev/null 2>&1 && break; sleep 0.1; \
+	done; \
+	curl -sf http://127.0.0.1:18321/healthz >/dev/null; \
+	curl -sf -X POST http://127.0.0.1:18321/submit \
+		-d '{"tenant":"smoke","name":"probe","runtimeSeconds":30}' | grep -q '"ids"'; \
+	curl -sf http://127.0.0.1:18321/metrics | grep -q 'moteur_grid_submit_ewma_seconds{grid="g0"}'; \
+	curl -sf http://127.0.0.1:18321/metrics | grep -q 'moteur_grid_queue_ewma_seconds{grid="g1"}'; \
+	curl -sf http://127.0.0.1:18321/snapshot | grep -q '"scenario": "clean-baseline"'; \
+	kill -TERM $$pid; wait $$pid; \
+	grep -q '"final": true' "$$dir/latest.json"; \
+	echo "daemon-smoke: OK"
 
 # Full benchmark suite (paper tables, ablations, enactor scaling) with
 # allocation stats; the raw output is kept for cross-change comparison.
@@ -93,6 +118,7 @@ help:
 	@echo "  vet              go vet ./..."
 	@echo "  lint             determinism lint (cmd/moteurvet as vettool) + gofmt -l"
 	@echo "  scenarios        run the scenarios/*.json library, one results row each"
+	@echo "  daemon-smoke     boot moteurd, submit over HTTP, scrape /metrics, snapshot"
 	@echo "  bench            full paper suite                      -> BENCH_1.json"
 	@echo "  campaign-bench   32-tenant shared-grid campaign        -> BENCH_2.json"
 	@echo "  federation-bench 4 grids x 16 tenants, ranked broker   -> BENCH_3.json"

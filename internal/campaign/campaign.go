@@ -309,6 +309,110 @@ func RunSite(eng *sim.Engine, site Site, specs []TenantSpec) (*Report, error) {
 // shows up honestly in the delayed tenant's own numbers while the
 // protected tenants' overheads improve.
 func RunSiteAdmitted(eng *sim.Engine, site Site, specs []TenantSpec, adm Admission) (*Report, error) {
+	x, err := StartSite(eng, site, specs, adm)
+	if err != nil {
+		return nil, err
+	}
+	for !x.Done() && eng.Step() {
+	}
+	return x.Report(), nil
+}
+
+// Execution is a campaign in flight: every tenant arrival, admission
+// re-check and adaptive tick has been scheduled on the engine by
+// StartSite, but the engine itself is driven by the caller — one Step at
+// a time, in paced RunUntil windows, or to completion. It is the
+// incremental form of RunSiteAdmitted that long-running drivers (the
+// online broker daemon) interleave with external event injection.
+type Execution struct {
+	eng          *sim.Engine
+	site         Site
+	start        sim.Time
+	runners      []*tenantRun
+	remaining    int
+	pendingTicks int // adapt ticks currently scheduled, across all tenants
+}
+
+// TenantStatus is one tenant's live progress view, cheap enough for a
+// telemetry scrape: terminal results and statistics stay with Report.
+type TenantStatus struct {
+	// Name is the tenant's name.
+	Name string
+	// Arrival is the tenant's specified arrival, relative to the campaign
+	// start.
+	Arrival time.Duration
+	// Finished reports whether the tenant reached a terminal state.
+	Finished bool
+	// Finish is the terminal instant relative to the campaign start (zero
+	// while the tenant is still running).
+	Finish time.Duration
+	// Err is the tenant's terminal error, if any (nil while running or on
+	// success).
+	Err error
+}
+
+// Done reports whether every tenant has reached a terminal state.
+func (x *Execution) Done() bool { return x.remaining == 0 }
+
+// Remaining reports how many tenants have not yet reached a terminal
+// state.
+func (x *Execution) Remaining() int { return x.remaining }
+
+// Tenants returns the live per-tenant progress, in specification order.
+func (x *Execution) Tenants() []TenantStatus {
+	out := make([]TenantStatus, len(x.runners))
+	for i, r := range x.runners {
+		st := TenantStatus{Name: r.spec.Name, Arrival: r.spec.Arrival, Finished: r.finished, Err: r.err}
+		if r.finished {
+			st.Finish = time.Duration(r.finish - x.start)
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// Report renders the campaign outcome. Tenants that have not reached a
+// terminal state are reported as stalled, so call it once Done() — or
+// once the engine has drained, which is what stalling means.
+func (x *Execution) Report() *Report {
+	rep := &Report{Tenants: make([]TenantResult, len(x.runners))}
+	for i, r := range x.runners {
+		tr := TenantResult{
+			Name:           r.spec.Name,
+			Arrival:        r.spec.Arrival,
+			Result:         r.res,
+			Err:            r.err,
+			AdmissionDelay: r.admitDelay,
+			Overheads:      r.tenant.Overheads(),
+			Phases:         r.tenant.Phases(),
+			Adaptations:    r.adaptations,
+		}
+		if !r.finished {
+			tr.Err = fmt.Errorf("campaign: tenant %s: %w", r.spec.Name, core.ErrStalled)
+		} else {
+			tr.Finish = time.Duration(r.finish - x.start)
+			if r.err == nil {
+				tr.Makespan = tr.Finish - tr.Arrival
+			}
+		}
+		if tr.Finish > rep.Makespan {
+			rep.Makespan = tr.Finish
+		}
+		rep.Tenants[i] = tr
+	}
+	rep.Global = x.site.Overheads()
+	rep.GlobalPhases = x.site.Phases()
+	return rep
+}
+
+// StartSite schedules a campaign on the engine without driving it: every
+// tenant's arrival (behind the admission gate) and adaptive-granularity
+// loop is armed, and the returned Execution tracks progress as the
+// caller steps the engine. RunSiteAdmitted is exactly StartSite followed
+// by stepping until Done and a Report; incremental drivers interleave
+// their own events — external submissions, outage commands — between
+// steps instead.
+func StartSite(eng *sim.Engine, site Site, specs []TenantSpec, adm Admission) (*Execution, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("campaign: no tenants")
 	}
@@ -333,10 +437,13 @@ func RunSiteAdmitted(eng *sim.Engine, site Site, specs []TenantSpec, adm Admissi
 		}
 	}
 
-	campaignStart := eng.Now()
-	runners := make([]*tenantRun, len(specs))
-	remaining := len(specs)
-	pendingTicks := 0 // adapt ticks currently scheduled, across all tenants
+	x := &Execution{
+		eng:       eng,
+		site:      site,
+		start:     eng.Now(),
+		runners:   make([]*tenantRun, len(specs)),
+		remaining: len(specs),
+	}
 	for i := range specs {
 		ts := &specs[i]
 		th := site.Tenant(ts.Name)
@@ -349,7 +456,7 @@ func RunSiteAdmitted(eng *sim.Engine, site Site, specs []TenantSpec, adm Admissi
 			return nil, fmt.Errorf("campaign: tenant %s: %w", ts.Name, err)
 		}
 		r := &tenantRun{spec: ts, tenant: th, en: en, inputs: inputs}
-		runners[i] = r
+		x.runners[i] = r
 		// Arrivals are relative to the campaign start (the engine's
 		// current instant), so RunOn works on an engine whose clock has
 		// already advanced.
@@ -357,7 +464,7 @@ func RunSiteAdmitted(eng *sim.Engine, site Site, specs []TenantSpec, adm Admissi
 		if retry <= 0 {
 			retry = 30 * time.Second
 		}
-		arrival := campaignStart + sim.Time(ts.Arrival)
+		arrival := x.start + sim.Time(ts.Arrival)
 		var begin func()
 		begin = func() {
 			if adm.MaxUIBacklog > 0 && site.UIBacklog() > adm.MaxUIBacklog {
@@ -365,7 +472,7 @@ func RunSiteAdmitted(eng *sim.Engine, site Site, specs []TenantSpec, adm Admissi
 				if adm.MaxDelay > 0 && waited >= adm.MaxDelay {
 					r.err = fmt.Errorf("campaign: tenant %s: %w after %v", r.spec.Name, ErrAdmissionRejected, waited)
 					r.finished, r.finish = true, eng.Now()
-					remaining--
+					x.remaining--
 					return
 				}
 				// Held back: the backlog only moves when a UI event fires,
@@ -378,50 +485,19 @@ func RunSiteAdmitted(eng *sim.Engine, site Site, specs []TenantSpec, adm Admissi
 				r.res, r.err = res, err
 				r.finished = true
 				r.finish = eng.Now()
-				remaining--
+				x.remaining--
 			})
 			if err != nil && !r.finished {
 				r.err, r.finished, r.finish = err, true, eng.Now()
-				remaining--
+				x.remaining--
 			}
 			if r.spec.Adapt != nil && !r.finished {
-				scheduleAdapt(eng, site, r, len(specs), campaignStart, &pendingTicks)
+				scheduleAdapt(eng, site, r, len(specs), x.start, &x.pendingTicks)
 			}
 		}
 		eng.Schedule(sim.Time(ts.Arrival), begin)
 	}
-
-	for remaining > 0 && eng.Step() {
-	}
-
-	rep := &Report{Tenants: make([]TenantResult, len(runners))}
-	for i, r := range runners {
-		tr := TenantResult{
-			Name:           r.spec.Name,
-			Arrival:        r.spec.Arrival,
-			Result:         r.res,
-			Err:            r.err,
-			AdmissionDelay: r.admitDelay,
-			Overheads:      r.tenant.Overheads(),
-			Phases:         r.tenant.Phases(),
-			Adaptations:    r.adaptations,
-		}
-		if !r.finished {
-			tr.Err = fmt.Errorf("campaign: tenant %s: %w", r.spec.Name, core.ErrStalled)
-		} else {
-			tr.Finish = time.Duration(r.finish - campaignStart)
-			if r.err == nil {
-				tr.Makespan = tr.Finish - tr.Arrival
-			}
-		}
-		if tr.Finish > rep.Makespan {
-			rep.Makespan = tr.Finish
-		}
-		rep.Tenants[i] = tr
-	}
-	rep.Global = site.Overheads()
-	rep.GlobalPhases = site.Phases()
-	return rep, nil
+	return x, nil
 }
 
 // scheduleAdapt installs the tenant's periodic granularity-retuning loop.

@@ -1,0 +1,28 @@
+package daemon
+
+import "time"
+
+// Clock abstracts wall-clock time for the daemon's pacing loop, so tests
+// drive the loop with a fake clock while production uses the real one.
+// Wall-clock time lives only in this package and cmd/moteurd: the
+// simulation-critical packages stay clean under the simtime analyzer,
+// and the engine itself never observes the wall.
+type Clock interface {
+	// Now returns the current wall-clock instant.
+	Now() time.Time
+	// After returns a channel that delivers one instant once d has
+	// elapsed (time.After semantics).
+	After(d time.Duration) <-chan time.Time
+}
+
+// realClock is the production clock: the process wall clock.
+type realClock struct{}
+
+// Now returns time.Now.
+func (realClock) Now() time.Time { return time.Now() }
+
+// After returns time.After(d).
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// RealClock returns the production wall clock.
+func RealClock() Clock { return realClock{} }

@@ -73,8 +73,9 @@ type Config struct {
 	// catalog is shared, so the file is missing everywhere.
 	Rebroker int
 	// EWMAAlpha is the smoothing factor of the per-grid overhead
-	// telemetry (0 < alpha ≤ 1); larger values track recent jobs more
-	// aggressively. Zero means 0.2.
+	// telemetry (0 ≤ alpha ≤ 1); larger values track recent jobs more
+	// aggressively. Zero means "use the default", 0.2 — an explicit
+	// all-history mean (alpha → 0) is not expressible.
 	EWMAAlpha float64
 	// Links is the link model pricing replica movement across the
 	// federation, attached to the shared catalog: it decides what a job
@@ -272,7 +273,7 @@ func New(eng *sim.Engine, cfg Config) (*Federation, error) {
 		return nil, errors.New("federation: negative Rebroker")
 	}
 	if cfg.EWMAAlpha < 0 || cfg.EWMAAlpha > 1 {
-		return nil, fmt.Errorf("federation: EWMAAlpha %v outside (0, 1]", cfg.EWMAAlpha)
+		return nil, fmt.Errorf("federation: EWMAAlpha %v outside [0, 1] (0 means the 0.2 default)", cfg.EWMAAlpha)
 	}
 	if cfg.SECapacityMB < 0 {
 		return nil, errors.New("federation: negative SECapacityMB")

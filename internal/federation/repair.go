@@ -22,7 +22,8 @@ func (f *Federation) repairNeeded(name string) {
 // scheduleRepair copies one replica of the named file onto the first
 // member grid (configuration order) that is fully alive and does not
 // already hold a live copy, paying the link model's transfer time from
-// the best surviving replica as a pure delay. Repair traffic does not
+// the best surviving replica — the live copy with the cheapest link into
+// the chosen target, lexical site order breaking ties — as a pure delay. Repair traffic does not
 // occupy the contended WAN fabric: it models an asynchronous replica
 // manager trickling copies in the background, not a job's synchronous
 // stage-in (documented in DESIGN.md; folding it into the fabric is an
@@ -80,24 +81,39 @@ func (f *Federation) scheduleRepair(name string) {
 	if target < 0 {
 		return
 	}
-	src := live[0].Site
+	// Best surviving source: the live replica with the cheapest link into
+	// the chosen target. LiveReplicas returns deterministic site order, so
+	// keeping the first minimum is the lexical tie-break.
 	dst := grid.Site{Grid: f.names[target]}
-	d := f.catalog.Links().Link(src, dst).Cost(size)
+	links := f.catalog.Links()
+	src := live[0].Site
+	d := links.Link(src, dst).Cost(size)
+	for _, r := range live[1:] {
+		if c := links.Link(r.Site, dst).Cost(size); c < d {
+			src, d = r.Site, c
+		}
+	}
 	f.repairing[name] = true
 	f.eng.Schedule(sim.Time(d), func() {
 		delete(f.repairing, name)
-		// The world may have moved during the transfer: the file may be
-		// unregistered, the source may have died mid-copy, or the target
-		// may have gone dark — a copy from/to a dead SE never lands.
-		if !f.catalog.Has(name) || f.catalog.SiteDark(src) || f.catalog.SiteDark(dst) {
+		// The file may have been unregistered while the copy was in
+		// flight; repair has nothing left to maintain.
+		if !f.catalog.Has(name) {
 			return
 		}
-		if f.catalog.AddReplica(name, dst) {
-			f.repairs++
-			f.repairedMB += size
+		// The world may have moved during the transfer: if the source died
+		// mid-copy or the target went dark, a copy from/to a dead SE never
+		// lands — but the file is still below the floor, so fall through to
+		// repairNeeded and re-try from a surviving replica instead of
+		// stranding the file until an unrelated below-floor event fires.
+		if !f.catalog.SiteDark(src) && !f.catalog.SiteDark(dst) {
+			if f.catalog.AddReplica(name, dst) {
+				f.repairs++
+				f.repairedMB += size
+			}
 		}
-		// Top up toward the floor (or re-try elsewhere if replicas died
-		// while this copy was in flight).
+		// Top up toward the floor (or re-try elsewhere if the copy failed
+		// or replicas died while it was in flight).
 		f.repairNeeded(name)
 	})
 }

@@ -1,0 +1,108 @@
+package federation
+
+import (
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/sim"
+)
+
+// GridStatus is a point-in-time operational view of one member grid: the
+// outage flags and queue depths a live dashboard polls, alongside the
+// broker's smoothed telemetry and the WAN/staging totals actually paid
+// (attempts included, unlike the completed-jobs observations inside
+// Telemetry). It is assembled by Federation.Status from the engine's
+// control flow — the struct itself carries no live references and is
+// safe to hand to another goroutine.
+type GridStatus struct {
+	// Name is the member grid's federation-resolved name.
+	Name string
+	// Down reports a full outage in progress.
+	Down bool
+	// StorageDown reports the storage dimension dark (true during both
+	// SE-only and full outages).
+	StorageDown bool
+	// Backlog is the UI backlog: submissions accepted but not yet cleared
+	// by the grid's serialized UI — the congestion signal admission
+	// control gates on.
+	Backlog int
+	// Queued counts jobs sitting in the grid's batch queues.
+	Queued int
+	// BusyNodes and TotalNodes are the grid's current worker occupancy.
+	BusyNodes, TotalNodes int
+	// Telemetry is the federation's smoothed overhead view of the grid
+	// (submit/queue EWMAs, stretch, dispatch counters).
+	Telemetry Telemetry
+	// RemoteInMB is the input bytes the grid's jobs actually fetched over
+	// non-local links, failed attempts included.
+	RemoteInMB float64
+	// WANWait is the time the grid's jobs actually spent queued on
+	// contended WAN channels, attempts included.
+	WANWait time.Duration
+	// Restages counts the backed-off stage-in retry rounds the grid's
+	// jobs paid against dark or lost replicas.
+	Restages uint64
+}
+
+// Status is a live federation-wide snapshot: per-grid operational state,
+// job lifecycle counts over every dispatched attempt, replica-repair
+// accounting and per-element storage statistics. It is what the online
+// broker daemon serves on /metrics and writes into state snapshots. Call
+// it from the engine's control flow (between steps); the returned value
+// is detached from live state.
+type Status struct {
+	// Virtual is the engine's current virtual instant.
+	Virtual sim.Time
+	// Grids holds one entry per member grid, in configuration order.
+	Grids []GridStatus
+	// JobsByStatus counts every dispatched attempt by lifecycle state,
+	// indexed by grid.JobStatus (StatusSubmitted through StatusFailed).
+	JobsByStatus [int(grid.StatusFailed) + 1]int
+	// Repairs counts the replica-repair copies that landed.
+	Repairs int
+	// RepairedMB totals the megabytes those copies moved.
+	RepairedMB float64
+	// SE holds per-element storage statistics, in deterministic site
+	// order (empty while storage is passive).
+	SE []grid.SEStat
+}
+
+// GridStatus assembles the live operational view of member grid i.
+func (f *Federation) GridStatus(i int) GridStatus {
+	g := f.grids[i]
+	return GridStatus{
+		Name:        f.names[i],
+		Down:        g.Down(),
+		StorageDown: g.StorageDown(),
+		Backlog:     g.PendingSubmits(),
+		Queued:      g.QueuedJobs(),
+		BusyNodes:   g.BusyNodes(),
+		TotalNodes:  g.TotalNodes(),
+		Telemetry:   f.telem[i],
+		RemoteInMB:  g.RemoteInMB(),
+		WANWait:     g.WANWait(),
+		Restages:    g.Restages(),
+	}
+}
+
+// Status assembles the live federation-wide snapshot: every member
+// grid's GridStatus, job counts by lifecycle state across all dispatched
+// attempts, repair accounting and storage-element statistics.
+func (f *Federation) Status() Status {
+	st := Status{
+		Virtual:    f.eng.Now(),
+		Grids:      make([]GridStatus, len(f.grids)),
+		Repairs:    f.repairs,
+		RepairedMB: f.repairedMB,
+		SE:         f.catalog.SEStats(),
+	}
+	for i := range f.grids {
+		st.Grids[i] = f.GridStatus(i)
+	}
+	for _, r := range f.records {
+		if s := int(r.Status); s >= 0 && s < len(st.JobsByStatus) {
+			st.JobsByStatus[s]++
+		}
+	}
+	return st
+}

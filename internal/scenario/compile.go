@@ -121,6 +121,15 @@ func (w *World) Run() (*campaign.Report, error) {
 	return campaign.RunSiteAdmitted(w.Eng, campaign.OnFederation(w.Fed), w.Tenants, w.Admission)
 }
 
+// Start schedules the world's campaign on the engine without driving it:
+// the incremental form of Run for callers that step the engine
+// themselves and interleave external events between steps — the online
+// broker daemon's boot path. Stepping the returned execution until Done
+// and calling its Report yields exactly what Run returns.
+func (w *World) Start() (*campaign.Execution, error) {
+	return campaign.StartSite(w.Eng, campaign.OnFederation(w.Fed), w.Tenants, w.Admission)
+}
+
 // expandGrids resolves presets, overrides and Count families into the
 // federation's member specs.
 func (s *Spec) expandGrids(rootSeed uint64) []federation.GridSpec {

@@ -1,0 +1,55 @@
+package sim
+
+import "sync"
+
+// Inbox is a concurrency-safe injection queue for feeding external events
+// into a live engine without violating its single-threaded determinism
+// contract. Producers on any goroutine Post callbacks; the engine's owner
+// calls Drain between steps, from the engine's own control flow, which
+// schedules every posted callback at the current virtual instant in post
+// order. The engine itself is never touched from a producer goroutine,
+// so a run remains a pure function of its inputs plus the (externally
+// observable) sequence of drain points and the injections each one
+// admitted — the injection half of the online broker daemon's
+// determinism argument (see DESIGN.md, "The online broker daemon").
+//
+// The zero Inbox is ready to use.
+type Inbox struct {
+	mu    sync.Mutex
+	queue []func()
+}
+
+// Post enqueues fn for injection at the next Drain. It is safe to call
+// from any goroutine and never blocks on the engine.
+func (in *Inbox) Post(fn func()) {
+	if fn == nil {
+		panic("sim: Inbox.Post with nil callback")
+	}
+	in.mu.Lock()
+	in.queue = append(in.queue, fn)
+	in.mu.Unlock()
+}
+
+// Len reports how many callbacks are waiting to be drained.
+func (in *Inbox) Len() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.queue)
+}
+
+// Drain schedules every callback posted so far onto the engine at its
+// current virtual instant, in post order, and reports how many were
+// injected. It must be called from the engine's control flow (between
+// steps), never concurrently with engine use; the scheduled callbacks
+// fire when the engine reaches them, same-instant schedule order
+// preserved.
+func (in *Inbox) Drain(eng *Engine) int {
+	in.mu.Lock()
+	pending := in.queue
+	in.queue = nil
+	in.mu.Unlock()
+	for _, fn := range pending {
+		eng.Schedule(0, fn)
+	}
+	return len(pending)
+}

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestInboxDrainOrder verifies posted closures run on the engine in post
+// order, at the instant Drain was called.
+func TestInboxDrainOrder(t *testing.T) {
+	eng := NewEngine()
+	var in Inbox
+	var got []int
+	for i := 0; i < 3; i++ {
+		i := i
+		in.Post(func() { got = append(got, i) })
+	}
+	if in.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", in.Len())
+	}
+	if n := in.Drain(eng); n != 3 {
+		t.Fatalf("Drain = %d, want 3", n)
+	}
+	if in.Len() != 0 {
+		t.Fatalf("Len after drain = %d, want 0", in.Len())
+	}
+	eng.Run()
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("ran in order %v", got)
+	}
+}
+
+// TestInboxConcurrentPost hammers Post from many goroutines and checks
+// nothing is lost.
+func TestInboxConcurrentPost(t *testing.T) {
+	eng := NewEngine()
+	var in Inbox
+	var mu sync.Mutex
+	ran := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				in.Post(func() {
+					mu.Lock()
+					ran++
+					mu.Unlock()
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if n := in.Drain(eng); n != 800 {
+		t.Fatalf("Drain = %d, want 800", n)
+	}
+	eng.Run()
+	if ran != 800 {
+		t.Fatalf("ran %d closures, want 800", ran)
+	}
+}
+
+// TestInboxNilPostPanics pins the nil-closure guard.
+func TestInboxNilPostPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Post(nil) did not panic")
+		}
+	}()
+	var in Inbox
+	in.Post(nil)
+}

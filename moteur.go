@@ -28,6 +28,7 @@ package moteur
 import (
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/daemon"
 	"repro/internal/dataset"
 	"repro/internal/descriptor"
 	"repro/internal/federation"
@@ -395,4 +396,33 @@ var (
 	// ScenarioFingerprint condenses a scenario run into one comparable
 	// determinism fingerprint.
 	ScenarioFingerprint = scenario.Fingerprint
+)
+
+// Online broker daemon (cmd/moteurd): serve a compiled scenario world as
+// a long-running process — virtual time paced against the wall clock,
+// job submissions and outage commands injected over HTTP between engine
+// steps, live telemetry on /metrics, periodic JSON state snapshots.
+type (
+	// Daemon is a running moteurd instance over one compiled world.
+	Daemon = daemon.Daemon
+	// DaemonConfig assembles a Daemon (world, warp factor, HTTP address,
+	// snapshot directory, clock).
+	DaemonConfig = daemon.Config
+	// DaemonClock abstracts wall-clock time for the daemon's pacing
+	// loop; tests substitute fakes.
+	DaemonClock = daemon.Clock
+	// DaemonSnapshot is the daemon's JSON state-snapshot document.
+	DaemonSnapshot = daemon.Snapshot
+	// EventInbox is the concurrency-safe injection queue that carries
+	// external events onto a deterministic engine between steps.
+	EventInbox = sim.Inbox
+)
+
+// Daemon construction and the production clock.
+var (
+	// NewDaemon boots a daemon over a compiled scenario world.
+	NewDaemon = daemon.New
+	// RealDaemonClock is the production wall clock for
+	// DaemonConfig.Clock.
+	RealDaemonClock = daemon.RealClock
 )
